@@ -1,0 +1,88 @@
+// E5 — the headline comparison (Section 1): amortized shared-memory steps
+// per operation in worst-case executions, wait-free queue vs MS-queue vs
+// FAA-array queue, under the round-robin adversary.
+//
+// The Kogan-Petrank wait-free queue is the key comparator: it is the
+// wait-free predecessor the paper improves on, and its O(p) phase scan +
+// helping loop makes EVERY operation pay Theta(p) — even uncontended.
+//
+// Workload: p processes alternate enqueue/dequeue in lock-step, so all p
+// hit the same hot word simultaneously — the canonical CAS-retry adversary
+// for the MS-queue. Reported: total steps / total ops. Expected shape:
+// MS-queue grows ~ p; the wait-free queue grows polylogarithmically,
+// overtaking it around p = 64 — the paper's existence claim that
+// sublinear-in-p queues are possible, not a constant-factor race. The
+// FAA queue stays flat here: round-robin lock-step is NOT its worst-case
+// adversary (its Omega(p) executions need a targeted schedule that races
+// dequeuers past stalled enqueuers to poison slots), which matches the
+// paper's observation that fetch&add designs are fast in practice yet
+// still Omega(p) in the worst case.
+#include <iostream>
+
+#include "baselines/faa_queue.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/ms_queue.hpp"
+#include "bench/common.hpp"
+#include "core/unbounded_queue.hpp"
+#include "platform/platform.hpp"
+
+using wfq::benchutil::OpSamples;
+using wfq::benchutil::run_round_robin;
+using Sim = wfq::platform::SimPlatform;
+
+template <typename Queue>
+double amortized_steps(Queue& q, int p, int ops_per_proc) {
+  OpSamples s = run_round_robin(p, [&](int pid, OpSamples& out) {
+    q.bind_thread(pid);
+    for (int k = 0; k < ops_per_proc; ++k) {
+      wfq::platform::StepScope scope;
+      if (k % 2 == 0)
+        q.enqueue((static_cast<uint64_t>(pid) << 32) |
+                  static_cast<uint64_t>(k));
+      else
+        (void)q.dequeue();
+      out.add(scope.delta());
+    }
+  });
+  auto sum = wfq::stats::summarize(s.steps);
+  return sum.mean;
+}
+
+int main() {
+  std::cout << "E5: amortized steps/op under the round-robin adversary\n"
+            << "    50/50 enqueue-dequeue mix, K=24 ops/process\n\n";
+  constexpr int kOps = 24;
+  wfq::stats::Table table({"p", "wait-free queue", "KP-queue", "MS-queue",
+                           "FAA-queue", "kp/wfq", "ms/wfq"});
+  std::vector<double> ps, wfqv, kpv, msv, faav;
+  for (int p : {2, 4, 8, 16, 32, 64}) {
+    wfq::core::UnboundedQueue<uint64_t, Sim> wq(p);
+    double w = amortized_steps(wq, p, kOps);
+    wfq::baselines::KpQueue<uint64_t, Sim> kq(p);
+    double kp = amortized_steps(kq, p, kOps);
+    wfq::baselines::MsQueue<uint64_t, Sim> mq(p);
+    double m = amortized_steps(mq, p, kOps);
+    wfq::baselines::FaaArrayQueue<uint64_t, Sim> fq(p);
+    double f = amortized_steps(fq, p, kOps);
+    table.add_row({wfq::stats::fmt(p), wfq::stats::fmt(w), wfq::stats::fmt(kp),
+                   wfq::stats::fmt(m), wfq::stats::fmt(f),
+                   wfq::stats::fmt(kp / w), wfq::stats::fmt(m / w)});
+    ps.push_back(p);
+    wfqv.push_back(w);
+    kpv.push_back(kp);
+    msv.push_back(m);
+    faav.push_back(f);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  wfq::benchutil::report_shape(std::cout, "wait-free", ps, wfqv);
+  wfq::benchutil::report_shape(std::cout, "KP-queue ", ps, kpv);
+  wfq::benchutil::report_shape(std::cout, "MS-queue ", ps, msv);
+  wfq::benchutil::report_shape(std::cout, "FAA-queue", ps, faav);
+  std::cout
+      << "  paper expectation: baselines grow ~ p, ours polylog; the\n"
+      << "  ms/wfq and faa/wfq ratios increase with p (crossover where the\n"
+      << "  ratio passes 1). At small p the baselines' smaller constants\n"
+      << "  win, exactly as Section 7 concedes for the uncontended case.\n";
+  return 0;
+}

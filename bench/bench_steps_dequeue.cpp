@@ -1,0 +1,116 @@
+// E3 — Theorem 22 (dequeue): a non-null Dequeue takes
+// O(log p · log c + log q_e + log q_d) steps; a null Dequeue O(log p).
+//
+// Two sweeps under the round-robin adversary:
+//   (a) steps vs p at (roughly) fixed queue size;
+//   (b) steps vs q at fixed p = 8 (prefill phase enqueues q/p per process,
+//       then a dequeue phase is measured).
+// Expected shape: (a) polylog in p (log or log^2, not linear);
+// (b) grows ~ log q with small constant.
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/unbounded_queue.hpp"
+#include "platform/platform.hpp"
+
+using wfq::benchutil::OpSamples;
+using wfq::benchutil::run_round_robin;
+using Queue =
+    wfq::core::UnboundedQueue<uint64_t, wfq::platform::SimPlatform>;
+
+// Phase 1: each process enqueues `prefill` items. Phase 2: each process
+// dequeues `ops` items, measured. One sim run (phases separated by local
+// op-count, not barriers; lock-step keeps them roughly aligned).
+OpSamples measure_dequeues(Queue& q, int p, int prefill, int ops) {
+  return run_round_robin(p, [&](int pid, OpSamples& out) {
+    q.bind_thread(pid);
+    for (int k = 0; k < prefill; ++k)
+      q.enqueue((static_cast<uint64_t>(pid) << 32) | static_cast<uint64_t>(k));
+    for (int k = 0; k < ops; ++k) {
+      wfq::platform::StepScope scope;
+      auto r = q.dequeue();
+      auto d = scope.delta();
+      if (r.has_value()) out.add(d);  // non-null dequeues only
+    }
+  });
+}
+
+int main() {
+  std::cout << "E3a: non-null dequeue steps vs p  (Theorem 22: O(log p log c + "
+               "log q))\n"
+            << "     round-robin adversary, prefill 16/process, 16 "
+               "dequeues/process\n\n";
+  {
+    wfq::stats::Table table({"p", "q0", "deqs", "steps/op mean", "steps/op p99",
+                             "steps/op max", "max/log2^2(p)"});
+    std::vector<double> ps, maxima;
+    for (int p : {2, 4, 8, 16, 32, 64}) {
+      Queue q(p);
+      OpSamples s = measure_dequeues(q, p, 16, 16);
+      auto sum = wfq::stats::summarize(s.steps);
+      double l = std::log2(p);
+      table.add_row({wfq::stats::fmt(p), wfq::stats::fmt(16 * p),
+                     wfq::stats::fmt(static_cast<uint64_t>(sum.n)),
+                     wfq::stats::fmt(sum.mean), wfq::stats::fmt(sum.p99),
+                     wfq::stats::fmt(sum.max, 0),
+                     wfq::stats::fmt(sum.max / (l * l))});
+      ps.push_back(p);
+      maxima.push_back(sum.max);
+    }
+    table.print(std::cout);
+    wfq::benchutil::report_shape(std::cout, "dequeue max steps vs p", ps,
+                                 maxima);
+    std::cout << "  paper expectation: polylog fit (log or log^2), not p.\n\n";
+  }
+
+  std::cout << "E3b: non-null dequeue steps vs queue size q at p=8\n\n";
+  {
+    wfq::stats::Table table({"q (prefill)", "steps/op mean", "steps/op max",
+                             "max/log2(q)"});
+    std::vector<double> qs, means;
+    for (int per_proc : {4, 16, 64, 256, 1024}) {
+      Queue q(8);
+      int total_q = 8 * per_proc;
+      OpSamples s = measure_dequeues(q, 8, per_proc, 8);
+      auto sum = wfq::stats::summarize(s.steps);
+      table.add_row({wfq::stats::fmt(total_q), wfq::stats::fmt(sum.mean),
+                     wfq::stats::fmt(sum.max, 0),
+                     wfq::stats::fmt(sum.max / std::log2(total_q))});
+      qs.push_back(total_q);
+      means.push_back(sum.mean);
+    }
+    table.print(std::cout);
+    // Fit vs log q.
+    std::vector<double> logq;
+    for (double v : qs) logq.push_back(std::log2(v));
+    std::cout << "  R^2[steps ~ log q] = "
+              << wfq::stats::fmt(wfq::stats::fit_r2(logq, means), 3)
+              << "   R^2[steps ~ q] = "
+              << wfq::stats::fmt(wfq::stats::fit_r2(qs, means), 3) << "\n"
+            << "  paper expectation: log-q fit wins by a wide margin.\n";
+  }
+
+  std::cout << "\nE3c: null dequeue steps vs p  (Theorem 22: O(log p))\n\n";
+  {
+    wfq::stats::Table table({"p", "steps/op mean", "steps/op max"});
+    for (int p : {2, 8, 32, 64}) {
+      Queue q(p);
+      OpSamples s = run_round_robin(p, [&](int pid, OpSamples& out) {
+        q.bind_thread(pid);
+        for (int k = 0; k < 12; ++k) {
+          wfq::platform::StepScope scope;
+          auto r = q.dequeue();  // queue stays empty: all null
+          auto d = scope.delta();
+          if (!r.has_value()) out.add(d);
+        }
+      });
+      auto sum = wfq::stats::summarize(s.steps);
+      table.add_row({wfq::stats::fmt(p), wfq::stats::fmt(sum.mean),
+                     wfq::stats::fmt(sum.max, 0)});
+    }
+    table.print(std::cout);
+    std::cout << "  paper expectation: same O(log p) scale as enqueues (E2).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E9 — real-thread wall-clock throughput (google-benchmark): wait-free
+// queue (both variants) vs MS-queue vs FAA-queue vs the lock-based
+// baselines, on enqueue+dequeue pairs.
+//
+// Caveat recorded in EXPERIMENTS.md: this machine has ONE physical core,
+// so multi-threaded rows measure the oversubscribed (preemption) regime,
+// not cache-contention scaling. The paper itself predicts the shape seen
+// here: "our queue has a higher cost than the MS-queue in the best case
+// (when an operation runs by itself)" (Section 7) — the polylog advantage
+// is a worst-case-adversary property (see E4/E5), not a single-thread win.
+#include <benchmark/benchmark.h>
+
+#include "baselines/faa_queue.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/lock_queues.hpp"
+#include "baselines/ms_queue.hpp"
+#include "core/bounded_queue.hpp"
+#include "core/unbounded_queue.hpp"
+
+namespace {
+
+constexpr int kMaxThreads = 4;
+
+template <typename Queue>
+void run_pairs(Queue& q, benchmark::State& state) {
+  uint64_t i = 0;
+  for (auto _ : state) {
+    q.enqueue(i++);
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_WaitFreeUnbounded(benchmark::State& state) {
+  static wfq::core::UnboundedQueue<uint64_t>* q = nullptr;
+  if (state.thread_index() == 0)
+    q = new wfq::core::UnboundedQueue<uint64_t>(kMaxThreads);
+  run_pairs(*q, state);
+  if (state.thread_index() == 0) delete q;
+}
+
+void BM_WaitFreeBounded(benchmark::State& state) {
+  static wfq::core::BoundedQueue<uint64_t>* q = nullptr;
+  if (state.thread_index() == 0)
+    q = new wfq::core::BoundedQueue<uint64_t>(kMaxThreads);
+  run_pairs(*q, state);
+  if (state.thread_index() == 0) delete q;
+}
+
+void BM_KpQueue(benchmark::State& state) {
+  static wfq::baselines::KpQueue<uint64_t>* q = nullptr;
+  if (state.thread_index() == 0)
+    q = new wfq::baselines::KpQueue<uint64_t>(kMaxThreads);
+  run_pairs(*q, state);
+  if (state.thread_index() == 0) delete q;
+}
+
+void BM_MsQueue(benchmark::State& state) {
+  static wfq::baselines::MsQueue<uint64_t>* q = nullptr;
+  if (state.thread_index() == 0)
+    q = new wfq::baselines::MsQueue<uint64_t>(kMaxThreads);
+  run_pairs(*q, state);
+  if (state.thread_index() == 0) delete q;
+}
+
+void BM_FaaQueue(benchmark::State& state) {
+  static wfq::baselines::FaaArrayQueue<uint64_t>* q = nullptr;
+  if (state.thread_index() == 0)
+    q = new wfq::baselines::FaaArrayQueue<uint64_t>(kMaxThreads);
+  run_pairs(*q, state);
+  if (state.thread_index() == 0) delete q;
+}
+
+void BM_TwoLockQueue(benchmark::State& state) {
+  static wfq::baselines::TwoLockQueue<uint64_t>* q = nullptr;
+  if (state.thread_index() == 0)
+    q = new wfq::baselines::TwoLockQueue<uint64_t>();
+  run_pairs(*q, state);
+  if (state.thread_index() == 0) delete q;
+}
+
+void BM_MutexQueue(benchmark::State& state) {
+  static wfq::baselines::MutexQueue<uint64_t>* q = nullptr;
+  if (state.thread_index() == 0)
+    q = new wfq::baselines::MutexQueue<uint64_t>();
+  run_pairs(*q, state);
+  if (state.thread_index() == 0) delete q;
+}
+
+}  // namespace
+
+BENCHMARK(BM_WaitFreeUnbounded)->Threads(1)->Threads(2)->Threads(4)->Iterations(20000)->UseRealTime();
+BENCHMARK(BM_WaitFreeBounded)->Threads(1)->Threads(2)->Threads(4)->Iterations(20000)->UseRealTime();
+BENCHMARK(BM_KpQueue)->Threads(1)->Threads(2)->Threads(4)->Iterations(20000)->UseRealTime();
+BENCHMARK(BM_MsQueue)->Threads(1)->Threads(2)->Threads(4)->Iterations(20000)->UseRealTime();
+BENCHMARK(BM_FaaQueue)->Threads(1)->Threads(2)->Threads(4)->Iterations(20000)->UseRealTime();
+BENCHMARK(BM_TwoLockQueue)->Threads(1)->Threads(2)->Threads(4)->Iterations(20000)->UseRealTime();
+BENCHMARK(BM_MutexQueue)->Threads(1)->Threads(2)->Threads(4)->Iterations(20000)->UseRealTime();
+
+BENCHMARK_MAIN();

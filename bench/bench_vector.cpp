@@ -1,0 +1,75 @@
+// E11 (extension) — Section 7's vector: append costs O(log p) steps (same
+// propagation as an enqueue plus the position walk), get costs
+// O(log² p + log n). Sweeps under the round-robin adversary, mirroring
+// E2/E3 so the "easily adapt our routines" claim is checked quantitatively.
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/wait_free_vector.hpp"
+#include "platform/platform.hpp"
+
+using wfq::benchutil::OpSamples;
+using wfq::benchutil::run_round_robin;
+using Vec = wfq::core::WaitFreeVector<uint64_t, wfq::platform::SimPlatform>;
+
+int main() {
+  std::cout << "E11: wait-free vector (Section 7 extension)\n\n";
+  {
+    std::cout << "E11a: append steps vs p (K=30 appends/process)\n";
+    wfq::stats::Table table({"p", "steps/op mean", "steps/op max",
+                             "max/log2(p)"});
+    std::vector<double> ps, maxima;
+    for (int p : {2, 4, 8, 16, 32, 64}) {
+      Vec v(p);
+      OpSamples s = run_round_robin(p, [&](int pid, OpSamples& out) {
+        v.bind_thread(pid);
+        for (int k = 0; k < 30; ++k) {
+          wfq::platform::StepScope scope;
+          (void)v.append((static_cast<uint64_t>(pid) << 32) |
+                         static_cast<uint64_t>(k));
+          out.add(scope.delta());
+        }
+      });
+      auto sum = wfq::stats::summarize(s.steps);
+      table.add_row({wfq::stats::fmt(p), wfq::stats::fmt(sum.mean),
+                     wfq::stats::fmt(sum.max, 0),
+                     wfq::stats::fmt(sum.max / std::log2(p))});
+      ps.push_back(p);
+      maxima.push_back(sum.max);
+    }
+    table.print(std::cout);
+    wfq::benchutil::report_shape(std::cout, "vector append max", ps, maxima);
+  }
+  {
+    std::cout << "\nE11b: get(i) steps vs length n (single process)\n";
+    wfq::stats::Table table({"n", "get steps mean", "get steps max",
+                             "max/log2(n)"});
+    std::vector<double> ns, maxima;
+    for (int64_t n : {64, 512, 4096, 32768}) {
+      wfq::core::WaitFreeVector<uint64_t> v(1);
+      for (int64_t i = 0; i < n; ++i) (void)v.append(static_cast<uint64_t>(i));
+      std::vector<double> steps;
+      for (int64_t i = 0; i < n; i += n / 64) {
+        wfq::platform::StepScope scope;
+        (void)v.get(i);
+        steps.push_back(static_cast<double>(scope.delta().total()));
+      }
+      auto sum = wfq::stats::summarize(steps);
+      table.add_row({wfq::stats::fmt(static_cast<int64_t>(n)),
+                     wfq::stats::fmt(sum.mean), wfq::stats::fmt(sum.max, 0),
+                     wfq::stats::fmt(sum.max / std::log2(static_cast<double>(n)))});
+      ns.push_back(static_cast<double>(n));
+      maxima.push_back(sum.max);
+    }
+    table.print(std::cout);
+    std::vector<double> logn;
+    for (double v2 : ns) logn.push_back(std::log2(v2));
+    std::cout << "  R^2[get max ~ log n] = "
+              << wfq::stats::fmt(wfq::stats::fit_r2(logn, maxima), 3)
+              << "   R^2[~ n] = "
+              << wfq::stats::fmt(wfq::stats::fit_r2(ns, maxima), 3) << "\n"
+              << "  expectation: append ~ c*log p (like E2); get ~ log n.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Shared helpers for the experiment benches (see DESIGN.md per-experiment
+// index). Each bench binary prints an aligned table of the series it
+// regenerates plus the paper-expected shape, so `for b in build/bench/*; do
+// $b; done` reproduces the whole evaluation.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/step_counter.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace wfq::benchutil {
+
+/// Per-operation shared-memory step samples gathered from one sim run.
+struct OpSamples {
+  std::vector<double> steps;         // total shared steps per op
+  std::vector<double> cas_attempts;  // CAS attempts per op
+  std::vector<double> cas_failures;  // failed CAS per op
+  uint64_t rbt_touches = 0;          // bounded queue: RBT nodes touched
+
+  void add(const platform::StepCounts& d) {
+    steps.push_back(static_cast<double>(d.total()));
+    cas_attempts.push_back(static_cast<double>(d.cas_attempts));
+    cas_failures.push_back(static_cast<double>(d.cas_failures));
+  }
+  void merge(const OpSamples& o) {
+    steps.insert(steps.end(), o.steps.begin(), o.steps.end());
+    cas_attempts.insert(cas_attempts.end(), o.cas_attempts.begin(),
+                        o.cas_attempts.end());
+    cas_failures.insert(cas_failures.end(), o.cas_failures.begin(),
+                        o.cas_failures.end());
+    rbt_touches += o.rbt_touches;
+  }
+};
+
+/// Runs `body(pid, samples_for_pid)` on p simulated processes under the
+/// round-robin adversary and returns the merged per-op samples.
+template <typename Body>
+OpSamples run_round_robin(int procs, Body&& body,
+                          uint64_t max_steps = 200'000'000) {
+  std::vector<OpSamples> per_proc(static_cast<size_t>(procs));
+  sim::Scheduler sched(std::make_unique<sim::RoundRobinPolicy>(), max_steps);
+  std::vector<std::function<void()>> bodies;
+  for (int pid = 0; pid < procs; ++pid) {
+    bodies.emplace_back(
+        [&, pid] { body(pid, per_proc[static_cast<size_t>(pid)]); });
+  }
+  sched.run(std::move(bodies));
+  OpSamples all;
+  for (auto& s : per_proc) all.merge(s);
+  return all;
+}
+
+inline double log2d(double x) { return std::log2(x < 1 ? 1 : x); }
+
+/// Prints the fit quality of y against three growth models of p and names
+/// the best — used to report "who wins / what shape" per experiment.
+inline void report_shape(std::ostream& os, const std::string& series,
+                         const std::vector<double>& ps,
+                         const std::vector<double>& ys) {
+  std::vector<double> logp, log2p, linp;
+  for (double p : ps) {
+    logp.push_back(log2d(p));
+    log2p.push_back(log2d(p) * log2d(p));
+    linp.push_back(p);
+  }
+  double r_log = stats::fit_r2(logp, ys);
+  double r_log2 = stats::fit_r2(log2p, ys);
+  double r_lin = stats::fit_r2(linp, ys);
+  // Linear fits explain superlinear data too; prefer the smallest model
+  // within 2% of the best R^2.
+  std::string best = "log p";
+  double bestr = r_log;
+  if (r_log2 > bestr + 0.02) {
+    best = "log^2 p";
+    bestr = r_log2;
+  }
+  if (r_lin > bestr + 0.02) {
+    best = "p";
+    bestr = r_lin;
+  }
+  os << "  shape(" << series << "): R^2[log p]=" << stats::fmt(r_log, 3)
+     << "  R^2[log^2 p]=" << stats::fmt(r_log2, 3)
+     << "  R^2[p]=" << stats::fmt(r_lin, 3) << "  -> best: " << best << "\n";
+}
+
+/// Real-platform producer/consumer harness: runs `pairs` enqueue+dequeue
+/// pairs on two threads with the queue size held at ~target_q. The
+/// consumer gates on the producer's progress so every dequeue is non-null
+/// (a spinning consumer would add millions of null-dequeue operations) and
+/// the producer is throttled so q_max stays at the target (Theorem 31's
+/// space bound is in terms of q_max).
+template <typename Queue>
+void run_gated_pairs(Queue& q, uint64_t pairs, uint64_t target_q) {
+  std::atomic<uint64_t> produced{0}, consumed{0};
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < pairs + target_q; ++i) {
+      while (i > consumed.load(std::memory_order_acquire) + target_q)
+        std::this_thread::yield();
+      q.enqueue(i);
+      produced.store(i + 1, std::memory_order_release);
+    }
+  });
+  std::thread consumer([&] {
+    for (uint64_t got = 0; got < pairs; ++got) {
+      while (produced.load(std::memory_order_acquire) <= got)
+        std::this_thread::yield();
+      while (!q.dequeue().has_value()) {
+      }
+      consumed.store(got + 1, std::memory_order_release);
+    }
+  });
+  producer.join();
+  consumer.join();
+}
+
+}  // namespace wfq::benchutil
