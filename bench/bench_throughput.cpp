@@ -21,12 +21,22 @@ namespace {
 
 constexpr int kMaxThreads = 4;
 
+// Takes the shared-pointer slot, not the queue: thread 0 installs the queue
+// before its loop, and `for (auto _ : state)` only starts after ALL threads
+// reach google-benchmark's start barrier — so reading the slot (and binding)
+// inside the loop is ordered after setup. Reading or dereferencing it before
+// the loop would race thread 0's new/delete across benchmark runs.
 template <typename Queue>
-void run_pairs(Queue& q, benchmark::State& state) {
+void run_pairs(Queue*& slot, benchmark::State& state) {
+  Queue* q = nullptr;
   uint64_t i = 0;
   for (auto _ : state) {
-    q.enqueue(i++);
-    benchmark::DoNotOptimize(q.dequeue());
+    if (q == nullptr) {
+      q = slot;
+      q->bind_thread(state.thread_index());
+    }
+    q->enqueue(i++);
+    benchmark::DoNotOptimize(q->dequeue());
   }
   state.SetItemsProcessed(state.iterations() * 2);
 }
@@ -35,7 +45,7 @@ void BM_WaitFreeUnbounded(benchmark::State& state) {
   static wfq::core::UnboundedQueue<uint64_t>* q = nullptr;
   if (state.thread_index() == 0)
     q = new wfq::core::UnboundedQueue<uint64_t>(kMaxThreads);
-  run_pairs(*q, state);
+  run_pairs(q, state);
   if (state.thread_index() == 0) delete q;
 }
 
@@ -43,7 +53,7 @@ void BM_WaitFreeBounded(benchmark::State& state) {
   static wfq::core::BoundedQueue<uint64_t>* q = nullptr;
   if (state.thread_index() == 0)
     q = new wfq::core::BoundedQueue<uint64_t>(kMaxThreads);
-  run_pairs(*q, state);
+  run_pairs(q, state);
   if (state.thread_index() == 0) delete q;
 }
 
@@ -51,7 +61,7 @@ void BM_KpQueue(benchmark::State& state) {
   static wfq::baselines::KpQueue<uint64_t>* q = nullptr;
   if (state.thread_index() == 0)
     q = new wfq::baselines::KpQueue<uint64_t>(kMaxThreads);
-  run_pairs(*q, state);
+  run_pairs(q, state);
   if (state.thread_index() == 0) delete q;
 }
 
@@ -59,7 +69,7 @@ void BM_MsQueue(benchmark::State& state) {
   static wfq::baselines::MsQueue<uint64_t>* q = nullptr;
   if (state.thread_index() == 0)
     q = new wfq::baselines::MsQueue<uint64_t>(kMaxThreads);
-  run_pairs(*q, state);
+  run_pairs(q, state);
   if (state.thread_index() == 0) delete q;
 }
 
@@ -67,7 +77,7 @@ void BM_FaaQueue(benchmark::State& state) {
   static wfq::baselines::FaaArrayQueue<uint64_t>* q = nullptr;
   if (state.thread_index() == 0)
     q = new wfq::baselines::FaaArrayQueue<uint64_t>(kMaxThreads);
-  run_pairs(*q, state);
+  run_pairs(q, state);
   if (state.thread_index() == 0) delete q;
 }
 
@@ -75,7 +85,7 @@ void BM_TwoLockQueue(benchmark::State& state) {
   static wfq::baselines::TwoLockQueue<uint64_t>* q = nullptr;
   if (state.thread_index() == 0)
     q = new wfq::baselines::TwoLockQueue<uint64_t>();
-  run_pairs(*q, state);
+  run_pairs(q, state);
   if (state.thread_index() == 0) delete q;
 }
 
@@ -83,7 +93,7 @@ void BM_MutexQueue(benchmark::State& state) {
   static wfq::baselines::MutexQueue<uint64_t>* q = nullptr;
   if (state.thread_index() == 0)
     q = new wfq::baselines::MutexQueue<uint64_t>();
-  run_pairs(*q, state);
+  run_pairs(q, state);
   if (state.thread_index() == 0) delete q;
 }
 

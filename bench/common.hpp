@@ -104,6 +104,7 @@ template <typename Queue>
 void run_gated_pairs(Queue& q, uint64_t pairs, uint64_t target_q) {
   std::atomic<uint64_t> produced{0}, consumed{0};
   std::thread producer([&] {
+    q.bind_thread(0);
     for (uint64_t i = 0; i < pairs + target_q; ++i) {
       while (i > consumed.load(std::memory_order_acquire) + target_q)
         std::this_thread::yield();
@@ -112,6 +113,7 @@ void run_gated_pairs(Queue& q, uint64_t pairs, uint64_t target_q) {
     }
   });
   std::thread consumer([&] {
+    q.bind_thread(1);
     for (uint64_t got = 0; got < pairs; ++got) {
       while (produced.load(std::memory_order_acquire) <= got)
         std::this_thread::yield();

@@ -1,0 +1,78 @@
+// Fetch&add array queue baseline (the "fast in practice, still Omega(p)
+// worst-case" design family the paper discusses): enqueue and dequeue claim
+// unique slots of a preallocated cell array with one FAA each, racing on the
+// cell state with CAS. A dequeuer that outruns its enqueuer poisons the cell
+// and both retry. Single fixed segment (capacity chosen at construction) —
+// enough for the benches; a segment-linked variant is future work.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace wfq::baselines {
+
+template <typename T, typename Platform = platform::RealPlatform>
+class FaaArrayQueue {
+ public:
+  explicit FaaArrayQueue(int /*procs*/ = 1, size_t capacity = size_t{1} << 18)
+      : cells_(capacity) {}
+
+  void bind_thread(int /*pid*/) {}
+
+  void enqueue(T x) {
+    for (;;) {
+      int64_t slot = claim(enq_idx_);
+      Cell& c = cells_[static_cast<size_t>(slot)];
+      c.val = x;  // published by the state CAS below
+      if (c.state.cas(kEmpty, kFull)) return;
+      // Cell was poisoned by a faster dequeuer; claim a fresh slot.
+    }
+  }
+
+  std::optional<T> dequeue() {
+    for (;;) {
+      if (deq_idx_.load() >= enq_idx_.load()) return std::nullopt;
+      int64_t slot = claim(deq_idx_);
+      Cell& c = cells_[static_cast<size_t>(slot)];
+      uint64_t s = c.state.load();
+      if (s == kFull) return c.val;
+      // Enqueuer not finished: poison so it moves on, then retry.
+      if (c.state.cas(kEmpty, kPoisoned)) continue;
+      return c.val;  // lost the poison race => the cell just became full
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kFull = 1;
+  static constexpr uint64_t kPoisoned = 2;
+
+  struct Cell {
+    typename Platform::template Atomic<uint64_t> state{kEmpty};
+    T val{};
+  };
+
+  /// FAA-claims the next slot; the single segment is finite, so running off
+  /// its end must be a loud failure, not silent heap corruption.
+  int64_t claim(typename Platform::template Atomic<int64_t>& idx) {
+    int64_t slot = idx.fetch_add(1);
+    if (static_cast<size_t>(slot) >= cells_.size()) {
+      std::fprintf(stderr,
+                   "FaaArrayQueue: capacity %zu exhausted (slot %lld)\n",
+                   cells_.size(), static_cast<long long>(slot));
+      std::abort();
+    }
+    return slot;
+  }
+
+  typename Platform::template Atomic<int64_t> enq_idx_{0};
+  typename Platform::template Atomic<int64_t> deq_idx_{0};
+  std::vector<Cell> cells_;
+};
+
+}  // namespace wfq::baselines

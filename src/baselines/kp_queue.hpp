@@ -1,0 +1,62 @@
+// Kogan–Petrank-style wait-free queue comparator (E5). STUB-GRADE: the
+// defining cost of the KP design — every operation announces itself and
+// scans all p announcement slots before touching the queue — is modeled
+// faithfully (Theta(p) shared steps per op, even uncontended), but helping
+// is observational only: after the scan, each process applies its own
+// operation on an internal MS-queue instead of applying peers' announced
+// ops via enqTid/deqTid tagged nodes. A faithful KP port (phase-ordered
+// helping) is a ROADMAP open item; the bench shapes (linear in p) and FIFO
+// behavior are already exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/ms_queue.hpp"
+#include "platform/platform.hpp"
+
+namespace wfq::baselines {
+
+template <typename T, typename Platform = platform::RealPlatform>
+class KpQueue {
+ public:
+  explicit KpQueue(int procs)
+      : procs_(procs < 1 ? 1 : procs),
+        state_(static_cast<size_t>(procs_)) {}
+
+  void bind_thread(int pid) { platform::bind_thread(pid); }
+
+  void enqueue(T x) {
+    announce_and_scan();
+    q_.enqueue(std::move(x));
+  }
+
+  std::optional<T> dequeue() {
+    announce_and_scan();
+    return q_.dequeue();
+  }
+
+ private:
+  struct alignas(64) OpState {
+    typename Platform::template Atomic<int64_t> phase{0};
+  };
+
+  /// KP's phase protocol: publish phase = 1 + max over all announcements,
+  /// which costs one scan of all p slots — the Theta(p) term per operation.
+  void announce_and_scan() {
+    size_t self = static_cast<size_t>(platform::current_pid()) % state_.size();
+    int64_t maxphase = 0;
+    for (const OpState& s : state_) {
+      int64_t ph = s.phase.load();
+      if (ph > maxphase) maxphase = ph;
+    }
+    state_[self].phase.store(maxphase + 1);
+  }
+
+  int procs_;
+  std::vector<OpState> state_;
+  MsQueue<T, Platform> q_;
+};
+
+}  // namespace wfq::baselines

@@ -1,0 +1,83 @@
+// Lock-based baselines for the wall-clock comparison (E9): the Michael–Scott
+// two-lock queue (enqueuers and dequeuers serialize separately) and a plain
+// single-mutex std::deque wrapper.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace wfq::baselines {
+
+template <typename T>
+class TwoLockQueue {
+ public:
+  TwoLockQueue() : head_(new Node{T{}, nullptr}), tail_(head_) {}
+
+  TwoLockQueue(const TwoLockQueue&) = delete;
+  TwoLockQueue& operator=(const TwoLockQueue&) = delete;
+
+  ~TwoLockQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  void bind_thread(int /*pid*/) {}
+
+  void enqueue(T x) {
+    Node* n = new Node{std::move(x), nullptr};
+    std::lock_guard<std::mutex> g(tail_mu_);
+    tail_->next = n;
+    tail_ = n;
+  }
+
+  std::optional<T> dequeue() {
+    std::lock_guard<std::mutex> g(head_mu_);
+    Node* first = head_->next;
+    if (first == nullptr) return std::nullopt;
+    T v = std::move(first->val);
+    delete head_;
+    head_ = first;
+    return v;
+  }
+
+ private:
+  struct Node {
+    T val;
+    Node* next;
+  };
+
+  std::mutex head_mu_;
+  std::mutex tail_mu_;
+  Node* head_;
+  Node* tail_;
+};
+
+template <typename T>
+class MutexQueue {
+ public:
+  void bind_thread(int /*pid*/) {}
+
+  void enqueue(T x) {
+    std::lock_guard<std::mutex> g(mu_);
+    q_.push_back(std::move(x));
+  }
+
+  std::optional<T> dequeue() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<T> q_;
+};
+
+}  // namespace wfq::baselines

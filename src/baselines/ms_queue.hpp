@@ -1,0 +1,96 @@
+// Michael–Scott lock-free queue baseline, on Platform atomics so the sim can
+// count its shared steps. This is the CAS-retry-problem exemplar of the paper
+// (E4/E5): under the round-robin adversary each successful head/tail CAS
+// fails the other p-1 lock-step attempts, so CAS attempts per op grow ~ p.
+//
+// Memory: nodes are never reclaimed during operation (which also sidesteps
+// ABA); every allocation is threaded onto an uncounted intrusive list and
+// freed by the destructor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "platform/platform.hpp"
+
+namespace wfq::baselines {
+
+template <typename T, typename Platform = platform::RealPlatform>
+class MsQueue {
+ public:
+  explicit MsQueue(int /*procs*/ = 1) {
+    Node* dummy = alloc(T{});
+    head_.unsafe_store(dummy);
+    tail_.unsafe_store(dummy);
+  }
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  ~MsQueue() {
+    Node* n = alloc_list_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* next = n->alloc_next;
+      delete n;
+      n = next;
+    }
+  }
+
+  void bind_thread(int /*pid*/) {}
+
+  void enqueue(T x) {
+    Node* n = alloc(std::move(x));
+    for (;;) {
+      Node* last = tail_.load();
+      Node* next = last->next.load();
+      if (next != nullptr) {
+        tail_.cas(last, next);  // help a lagging tail forward
+        continue;
+      }
+      if (last->next.cas(nullptr, n)) {
+        tail_.cas(last, n);
+        return;
+      }
+    }
+  }
+
+  std::optional<T> dequeue() {
+    for (;;) {
+      Node* first = head_.load();
+      Node* last = tail_.load();
+      Node* next = first->next.load();
+      if (first == last) {
+        if (next == nullptr) return std::nullopt;
+        tail_.cas(last, next);
+        continue;
+      }
+      T v = next->val;  // safe: nodes live until the destructor
+      if (head_.cas(first, next)) return v;
+    }
+  }
+
+ private:
+  struct Node {
+    T val;
+    typename Platform::template Atomic<Node*> next{nullptr};
+    Node* alloc_next = nullptr;  // uncounted bookkeeping chain for the dtor
+  };
+
+  Node* alloc(T x) {
+    Node* n = new Node{std::move(x), {}, nullptr};
+    Node* old = alloc_list_.load(std::memory_order_relaxed);
+    do {
+      n->alloc_next = old;
+    } while (!alloc_list_.compare_exchange_weak(old, n,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed));
+    return n;
+  }
+
+  typename Platform::template Atomic<Node*> head_{nullptr};
+  typename Platform::template Atomic<Node*> tail_{nullptr};
+  std::atomic<Node*> alloc_list_{nullptr};
+};
+
+}  // namespace wfq::baselines

@@ -1,0 +1,50 @@
+// Bounded-space variant of the wait-free queue (paper Section 6,
+// Theorems 31/32): tree nodes keep only a suffix of their block arrays, with
+// a GC phase every `gc_period` appends that copies the live suffix through a
+// persistent red-black tree so space stays O(p*q_max + p^3 log p).
+//
+// STUB: forwards to the unbounded queue so every bench compiles and runs with
+// correct FIFO semantics and step counts; gc_period is accepted but no memory
+// is reclaimed yet (debug_live_blocks() therefore grows like the unbounded
+// queue's). The real implementation, together with pbt/persistent_rbt.hpp,
+// is the next tentpole — see ROADMAP "Open items".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/unbounded_queue.hpp"
+#include "pbt/persistent_rbt.hpp"
+
+namespace wfq::core {
+
+template <typename T, typename Platform = platform::RealPlatform>
+class BoundedQueue {
+ public:
+  /// Epoch-based-reclamation introspection surface (E6 prints the backlog of
+  /// retired-but-not-yet-freed blocks). Nothing is retired in the stub.
+  struct Ebr {
+    uint64_t retired_count() const { return 0; }
+  };
+
+  /// gc_period <= 0 selects the paper default G = p^2 * ceil(log2 p)
+  /// (gc_period == -1 disables GC in the ablation bench; identical here
+  /// because the stub never collects).
+  explicit BoundedQueue(int procs, int64_t gc_period = 0)
+      : q_(procs), gc_period_(gc_period) {}
+
+  void bind_thread(int pid) { q_.bind_thread(pid); }
+  void enqueue(T x) { q_.enqueue(std::move(x)); }
+  std::optional<T> dequeue() { return q_.dequeue(); }
+
+  size_t debug_live_blocks() const { return q_.debug_total_blocks(); }
+  const Ebr& debug_ebr() const { return ebr_; }
+  int64_t gc_period() const { return gc_period_; }
+
+ private:
+  UnboundedQueue<T, Platform> q_;
+  int64_t gc_period_;
+  Ebr ebr_;
+};
+
+}  // namespace wfq::core

@@ -1,0 +1,65 @@
+// Wait-free vector from the paper's Section 7 extension sketch ("our
+// routines easily adapt"): append is an enqueue-like operation, get(i) walks
+// to the i-th append.
+//
+// STUB: a flat FAA-claimed cell array — wait-free and linearizable, but O(1)
+// per op instead of the paper's O(log p) append / O(log^2 p + log n) get, so
+// E11's shape columns are not meaningful yet. The ordering-tree version
+// (reusing UnboundedQueue's propagation) is a ROADMAP open item.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace wfq::core {
+
+template <typename T, typename Platform = platform::RealPlatform>
+class WaitFreeVector {
+ public:
+  explicit WaitFreeVector(int /*procs*/, size_t capacity = size_t{1} << 16)
+      : cells_(capacity) {}
+
+  void bind_thread(int pid) { platform::bind_thread(pid); }
+
+  /// Appends and returns the index the value landed at.
+  int64_t append(T x) {
+    int64_t slot = len_.fetch_add(1);
+    if (static_cast<size_t>(slot) >= cells_.size()) {
+      std::fprintf(stderr,
+                   "WaitFreeVector: capacity %zu exhausted (slot %lld)\n",
+                   cells_.size(), static_cast<long long>(slot));
+      std::abort();
+    }
+    Cell& c = cells_[static_cast<size_t>(slot)];
+    c.val = std::move(x);
+    c.ready.store(1);
+    return slot;
+  }
+
+  /// Value at index i, or nullopt if i is past the end or the appender has
+  /// claimed the slot but not yet published the value.
+  std::optional<T> get(int64_t i) {
+    if (i < 0 || i >= len_.load()) return std::nullopt;
+    Cell& c = cells_[static_cast<size_t>(i)];
+    if (c.ready.load() == 0) return std::nullopt;
+    return c.val;
+  }
+
+  int64_t size() { return len_.load(); }
+
+ private:
+  struct Cell {
+    typename Platform::template Atomic<uint64_t> ready{0};
+    T val{};
+  };
+
+  typename Platform::template Atomic<int64_t> len_{0};
+  std::vector<Cell> cells_;
+};
+
+}  // namespace wfq::core

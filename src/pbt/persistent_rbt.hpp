@@ -1,0 +1,25 @@
+// Persistent red-black tree used by the bounded-space queue's GC phases
+// (paper Section 6: old tree versions stay readable while a new version is
+// built; every node visited or created costs one step in the model).
+//
+// STUB: only the step-accounting surface the benches consume exists so far.
+// The tree itself (path-copying insert/delete, version pointers) arrives
+// with the bounded-queue tentpole — see ROADMAP "Open items".
+#pragma once
+
+#include <cstdint>
+
+namespace wfq::pbt {
+
+/// Thread-local count of RBT nodes touched (visited or created); mirrors
+/// platform::tls_counts() for the tree's part of the step model.
+inline uint64_t& tls_rbt_touches_ref() {
+  thread_local uint64_t touches = 0;
+  return touches;
+}
+
+inline uint64_t tls_rbt_touches() { return tls_rbt_touches_ref(); }
+
+inline void note_rbt_touch(uint64_t n = 1) { tls_rbt_touches_ref() += n; }
+
+}  // namespace wfq::pbt

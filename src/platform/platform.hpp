@@ -1,0 +1,88 @@
+// Platform layer: the queue (and baselines) are templated on a Platform that
+// supplies Atomic<U>. Every load/store/CAS/fetch&add through an Atomic is one
+// shared-memory step in the paper's cost model and is tallied in the calling
+// thread's StepCounts.
+//
+//  - RealPlatform: plain std::atomic operations (plus counting). Used for
+//    wall-clock and single-threaded measurements.
+//  - SimPlatform: identical, but yields to the cooperative sim scheduler
+//    before every access, so the adversary policy controls the interleaving
+//    at shared-memory-step granularity.
+#pragma once
+
+#include <atomic>
+
+#include "platform/step_counter.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfq::platform {
+
+namespace detail {
+
+template <bool Simulated>
+inline void pre_step() {
+  if constexpr (Simulated) sim::Scheduler::yield_point();
+}
+
+template <bool Simulated, typename U>
+class AtomicImpl {
+ public:
+  AtomicImpl() : v_{} {}
+  explicit AtomicImpl(U init) : v_(init) {}
+
+  U load() const {
+    pre_step<Simulated>();
+    ++tls_counts().loads;
+    return v_.load(std::memory_order_acquire);
+  }
+
+  void store(U x) {
+    pre_step<Simulated>();
+    ++tls_counts().stores;
+    v_.store(x, std::memory_order_release);
+  }
+
+  /// Single CAS attempt; counted even on failure (the paper charges the
+  /// attempt, which is how the CAS retry problem becomes visible in E4).
+  bool cas(U expected, U desired) {
+    pre_step<Simulated>();
+    ++tls_counts().cas_attempts;
+    bool ok = v_.compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+    if (!ok) ++tls_counts().cas_failures;
+    return ok;
+  }
+
+  U fetch_add(U d) {
+    pre_step<Simulated>();
+    ++tls_counts().faas;
+    return v_.fetch_add(d, std::memory_order_acq_rel);
+  }
+
+  /// Uncounted relaxed read for debug introspection (bench printers); not a
+  /// step in the model.
+  U unsafe_peek() const { return v_.load(std::memory_order_relaxed); }
+
+  /// Uncounted initialization store (constructor-time setup only).
+  void unsafe_store(U x) { v_.store(x, std::memory_order_release); }
+
+ private:
+  std::atomic<U> v_;
+};
+
+}  // namespace detail
+
+struct RealPlatform {
+  static constexpr bool kSimulated = false;
+  template <typename U>
+  using Atomic = detail::AtomicImpl<false, U>;
+};
+
+struct SimPlatform {
+  static constexpr bool kSimulated = true;
+  template <typename U>
+  using Atomic = detail::AtomicImpl<true, U>;
+};
+
+}  // namespace wfq::platform

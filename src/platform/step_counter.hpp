@@ -1,0 +1,55 @@
+// Shared-memory step accounting (the paper's cost model: every access to a
+// shared base object — read, write, CAS attempt, fetch&add — is one step).
+// Counters are thread-local, so under the cooperative simulator each
+// simulated process accumulates its own exact per-operation step counts.
+#pragma once
+
+#include <cstdint>
+
+namespace wfq::platform {
+
+/// Per-thread tally of shared-memory steps, split by primitive.
+struct StepCounts {
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t cas_attempts = 0;
+  uint64_t cas_failures = 0;  // subset of cas_attempts
+  uint64_t faas = 0;
+
+  /// Total shared-memory steps (failed CAS attempts already count as
+  /// attempts; failures are not double-counted).
+  uint64_t total() const { return loads + stores + cas_attempts + faas; }
+
+  StepCounts operator-(const StepCounts& o) const {
+    return {loads - o.loads, stores - o.stores, cas_attempts - o.cas_attempts,
+            cas_failures - o.cas_failures, faas - o.faas};
+  }
+};
+
+inline StepCounts& tls_counts() {
+  thread_local StepCounts counts;
+  return counts;
+}
+
+/// RAII window over the calling thread's step counters: construct before an
+/// operation, call delta() after to get the exact steps the operation took.
+class StepScope {
+ public:
+  StepScope() : start_(tls_counts()) {}
+  StepCounts delta() const { return tls_counts() - start_; }
+
+ private:
+  StepCounts start_;
+};
+
+/// Simulated-process id of the calling thread (leaf index in the ordering
+/// tree). Set by Queue::bind_thread; defaults to 0 for single-threaded use.
+inline int& tls_pid() {
+  thread_local int pid = 0;
+  return pid;
+}
+
+inline void bind_thread(int pid) { tls_pid() = pid; }
+inline int current_pid() { return tls_pid(); }
+
+}  // namespace wfq::platform

@@ -1,0 +1,194 @@
+// Deterministic cooperative scheduler: runs p simulated processes, each on
+// its own OS thread, but hands a single execution baton between them so that
+// exactly one process runs at a time. SimPlatform atomics call yield_point()
+// before every shared-memory access, so the pluggable SchedulingPolicy (the
+// adversary) decides the exact interleaving of shared steps. The interleaving
+// depends only on the policy — never on OS thread timing — which makes every
+// sim run (and its recorded trace) bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wfq::sim {
+
+/// The adversary: picks which runnable process takes the next shared step.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  /// `runnable[i]` is true for processes that have not finished. At least one
+  /// entry is true. Returns the index of the process to run next.
+  virtual int pick(const std::vector<char>& runnable, uint64_t step) = 0;
+};
+
+/// The paper's canonical worst-case adversary for CAS-based queues: perfect
+/// lock-step. Every runnable process takes exactly one shared step per round.
+class RoundRobinPolicy : public SchedulingPolicy {
+ public:
+  int pick(const std::vector<char>& runnable, uint64_t /*step*/) override {
+    int n = static_cast<int>(runnable.size());
+    for (int k = 1; k <= n; ++k) {
+      int c = (last_ + k) % n;
+      if (runnable[static_cast<size_t>(c)]) {
+        last_ = c;
+        return c;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  int last_ = -1;
+};
+
+/// Seeded adversary: picks a uniformly pseudo-random runnable process each
+/// step (xorshift64*). Same seed => same schedule, for replay tests.
+class RandomPolicy : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  int pick(const std::vector<char>& runnable, uint64_t /*step*/) override {
+    int live = 0;
+    for (char r : runnable) live += r ? 1 : 0;
+    uint64_t x = next();
+    int target = static_cast<int>(x % static_cast<uint64_t>(live));
+    for (size_t i = 0; i < runnable.size(); ++i) {
+      if (runnable[i] && target-- == 0) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  uint64_t state_;
+};
+
+/// Thrown out of a process body when the run exceeds its step budget; the
+/// scheduler unwinds every process and Scheduler::run rethrows.
+struct StepLimitExceeded : std::runtime_error {
+  explicit StepLimitExceeded(uint64_t limit)
+      : std::runtime_error("sim: step limit exceeded (" +
+                           std::to_string(limit) + ")") {}
+};
+
+class Scheduler;
+
+namespace detail {
+struct TlsCtx {
+  Scheduler* sched = nullptr;
+  int pid = -1;
+};
+inline TlsCtx& tls_ctx() {
+  thread_local TlsCtx ctx;
+  return ctx;
+}
+}  // namespace detail
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::unique_ptr<SchedulingPolicy> policy,
+                     uint64_t max_steps = 200'000'000)
+      : policy_(std::move(policy)), max_steps_(max_steps) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs one body per simulated process to completion under the policy.
+  void run(std::vector<std::function<void()>> bodies) {
+    size_t n = bodies.size();
+    if (n == 0) return;
+    runnable_.assign(n, 1);
+    sems_.clear();
+    sems_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+      sems_.push_back(std::make_unique<std::binary_semaphore>(0));
+    live_ = n;
+    limit_hit_ = false;
+    steps_ = 0;
+    trace_.clear();
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, i, body = std::move(bodies[i])] {
+        detail::tls_ctx() = {this, static_cast<int>(i)};
+        sems_[i]->acquire();  // wait for the baton
+        try {
+          body();
+        } catch (const StepLimitExceeded&) {
+          // unwound by the step budget; fall through to finish
+        }
+        finish(static_cast<int>(i));
+        detail::tls_ctx() = {};
+      });
+    }
+    // Hand the baton to the policy's first pick; it flows process-to-process
+    // from here, returning to main_done_ only when every body has finished.
+    int first = policy_->pick(runnable_, steps_);
+    sems_[static_cast<size_t>(first)]->release();
+    main_done_.acquire();
+    for (auto& t : threads) t.join();
+    if (limit_hit_) throw StepLimitExceeded(max_steps_);
+  }
+
+  /// One entry per shared step: which process took it. Only the policy
+  /// determines this sequence, so identical (policy state, bodies) runs
+  /// produce identical traces.
+  const std::vector<int>& trace() const { return trace_; }
+  uint64_t steps() const { return steps_; }
+
+  /// Called by SimPlatform before each shared-memory access of the calling
+  /// simulated process. No-op when the thread is not a simulated process.
+  static void yield_point() {
+    detail::TlsCtx& ctx = detail::tls_ctx();
+    if (ctx.sched != nullptr) ctx.sched->yield(ctx.pid);
+  }
+
+ private:
+  // All scheduler state below is only ever touched by the baton holder, so
+  // it needs no locking; the semaphore handoff orders the accesses.
+  void yield(int pid) {
+    if (limit_hit_ || ++steps_ > max_steps_) {
+      limit_hit_ = true;
+      throw StepLimitExceeded(max_steps_);
+    }
+    trace_.push_back(pid);
+    int next = policy_->pick(runnable_, steps_);
+    if (next == pid) return;  // keep running
+    sems_[static_cast<size_t>(next)]->release();
+    sems_[static_cast<size_t>(pid)]->acquire();
+  }
+
+  void finish(int pid) {
+    runnable_[static_cast<size_t>(pid)] = 0;
+    if (--live_ == 0) {
+      main_done_.release();
+      return;
+    }
+    int next = policy_->pick(runnable_, steps_);
+    sems_[static_cast<size_t>(next)]->release();
+  }
+
+  std::unique_ptr<SchedulingPolicy> policy_;
+  uint64_t max_steps_;
+  uint64_t steps_ = 0;
+  bool limit_hit_ = false;
+  size_t live_ = 0;
+  std::vector<char> runnable_;
+  std::vector<std::unique_ptr<std::binary_semaphore>> sems_;
+  std::binary_semaphore main_done_{0};
+  std::vector<int> trace_;
+};
+
+}  // namespace wfq::sim

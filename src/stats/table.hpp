@@ -1,0 +1,52 @@
+// Minimal aligned-column table printer for the bench reports. Every cell is
+// padded to its column's maximum width and right-aligned (numeric tables read
+// best that way); columns are separated by two spaces.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace wfq::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+    auto emit = [&](const std::vector<std::string>& row) {
+      os << " ";
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        os << " " << std::string(width[c] - cell.size(), ' ') << cell << " ";
+      }
+      os << "\n";
+    };
+    emit(headers_);
+    size_t total = 0;
+    for (size_t w : width) total += w + 2;
+    os << " " << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) emit(row);
+  }
+
+  size_t columns() const { return headers_.size(); }
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wfq::stats

@@ -1,0 +1,88 @@
+// Asserts the paper's Figure-2 worked example (the 14-operation history of
+// Figure 1) when driven one operation at a time in the figure's linearization
+// order: dequeue responses Deq2=a, Deq4=e, Deq5=b, Deq1=d, Deq3=f, Deq6=h,
+// queue left holding {c, g}, and the root's implicit size/sum sequences.
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/unbounded_queue.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using Queue = wfq::core::UnboundedQueue<uint64_t>;
+
+struct Op {
+  int pid;
+  bool is_enq;
+  uint64_t arg;
+};
+
+// Same schedule as bench_figure2.cpp: per-process program order matches the
+// figure (P0: a,b,d,Deq1; P1: Deq2,c,Deq3; P2: e,Deq4,Deq5,f,h; P3: g,Deq6).
+const Op kOps[] = {
+    {0, true, 'a'}, {2, true, 'e'}, {1, false, 0}, {0, true, 'b'},
+    {2, false, 0},  {2, false, 0},  {0, true, 'd'}, {2, true, 'f'},
+    {2, true, 'h'}, {0, false, 0},  {1, true, 'c'}, {1, false, 0},
+    {3, true, 'g'}, {3, false, 0},
+};
+
+std::optional<uint64_t> run_as(Queue& q, const Op& op) {
+  std::optional<uint64_t> resp;
+  std::thread t([&] {
+    q.bind_thread(op.pid);
+    if (op.is_enq) {
+      q.enqueue(op.arg);
+    } else {
+      resp = q.dequeue();
+    }
+  });
+  t.join();
+  return resp;
+}
+
+}  // namespace
+
+int main() {
+  Queue q(4);
+  std::vector<std::optional<uint64_t>> deq_resps;
+  for (const Op& op : kOps) {
+    auto r = run_as(q, op);
+    if (!op.is_enq) deq_resps.push_back(r);
+  }
+
+  // Dequeues in execution order: Deq2, Deq4, Deq5, Deq1, Deq3, Deq6.
+  const char expected[] = {'a', 'e', 'b', 'd', 'f', 'h'};
+  CHECK_EQ(deq_resps.size(), 6u);
+  for (size_t i = 0; i < deq_resps.size(); ++i) {
+    CHECK(deq_resps[i].has_value());
+    if (deq_resps[i].has_value())
+      CHECK_EQ(static_cast<char>(*deq_resps[i]), expected[i]);
+  }
+
+  // One op at a time => every root block holds exactly one operation.
+  const Queue::Node* root = q.debug_root();
+  CHECK_EQ(root->head.unsafe_peek(), 15);
+
+  // Queue size after each operation of the figure's history.
+  const int64_t sizes[] = {1, 2, 1, 2, 1, 0, 1, 2, 3, 2, 3, 2, 3, 2};
+  for (int64_t b = 1; b <= 14; ++b) {
+    const Queue::Block* blk = root->blocks.load(b);
+    CHECK_EQ(blk->size, sizes[b - 1]);
+    CHECK_EQ(blk->sumenq + blk->sumdeq, b);  // each block is one operation
+  }
+  CHECK_EQ(root->blocks.load(14)->sumenq, 8);
+  CHECK_EQ(root->blocks.load(14)->sumdeq, 6);
+
+  // The two survivors come out in FIFO order: c then g.
+  q.bind_thread(0);
+  auto c = q.dequeue();
+  auto g = q.dequeue();
+  auto none = q.dequeue();
+  CHECK(c.has_value() && static_cast<char>(*c) == 'c');
+  CHECK(g.has_value() && static_cast<char>(*g) == 'g');
+  CHECK(!none.has_value());
+
+  return wfq::test::exit_code();
+}

@@ -1,0 +1,58 @@
+// Randomized differential test against std::queue: single-threaded histories
+// (p=1, and p=8 with ops issued from rotating leaves) must match the
+// sequential FIFO model exactly, including null dequeues. Exercises the whole
+// dequeue path — IndexDequeue's superblock walk, the Lemma-20 doubling
+// search, and the root-to-leaf descent — over long mixed histories.
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <random>
+
+#include "core/unbounded_queue.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+void run_history(int procs, uint64_t seed, int ops, int enq_permille) {
+  wfq::core::UnboundedQueue<uint64_t> q(procs);
+  std::queue<uint64_t> model;
+  std::mt19937_64 rng(seed);
+  uint64_t next_val = 1;
+  for (int k = 0; k < ops; ++k) {
+    q.bind_thread(static_cast<int>(rng() % static_cast<uint64_t>(procs)));
+    bool enq = static_cast<int>(rng() % 1000) < enq_permille;
+    if (enq) {
+      q.enqueue(next_val);
+      model.push(next_val);
+      ++next_val;
+    } else {
+      std::optional<uint64_t> got = q.dequeue();
+      if (model.empty()) {
+        CHECK(!got.has_value());
+      } else {
+        CHECK(got.has_value());
+        if (got.has_value()) CHECK_EQ(*got, model.front());
+        model.pop();
+      }
+    }
+  }
+  // Drain and compare the tails.
+  while (!model.empty()) {
+    std::optional<uint64_t> got = q.dequeue();
+    CHECK(got.has_value());
+    if (got.has_value()) CHECK_EQ(*got, model.front());
+    model.pop();
+  }
+  CHECK(!q.dequeue().has_value());
+}
+
+}  // namespace
+
+int main() {
+  run_history(/*procs=*/1, /*seed=*/1, /*ops=*/6000, /*enq_permille=*/550);
+  run_history(/*procs=*/1, /*seed=*/2, /*ops=*/3000, /*enq_permille=*/800);
+  run_history(/*procs=*/8, /*seed=*/3, /*ops=*/6000, /*enq_permille=*/550);
+  run_history(/*procs=*/8, /*seed=*/4, /*ops=*/3000, /*enq_permille=*/300);
+  run_history(/*procs=*/5, /*seed=*/5, /*ops=*/4000, /*enq_permille=*/500);
+  return wfq::test::exit_code();
+}

@@ -1,0 +1,65 @@
+// Determinism of the cooperative simulator: the step interleaving (trace) is
+// a pure function of the policy and the program, so two identical runs — OS
+// scheduling notwithstanding — must produce bit-identical traces, and a
+// different adversary seed must (for this workload) produce a different one.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/unbounded_queue.hpp"
+#include "platform/platform.hpp"
+#include "sim/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using Queue = wfq::core::UnboundedQueue<uint64_t, wfq::platform::SimPlatform>;
+
+/// Runs a fixed mixed workload on p simulated processes; returns the trace.
+std::vector<int> run_workload(std::unique_ptr<wfq::sim::SchedulingPolicy> pol) {
+  constexpr int kProcs = 6;
+  Queue q(kProcs);
+  wfq::sim::Scheduler sched(std::move(pol));
+  std::vector<std::function<void()>> bodies;
+  for (int pid = 0; pid < kProcs; ++pid) {
+    bodies.emplace_back([&q, pid] {
+      q.bind_thread(pid);
+      for (int k = 0; k < 12; ++k) {
+        if (k % 3 == 2) {
+          (void)q.dequeue();
+        } else {
+          q.enqueue((static_cast<uint64_t>(pid) << 32) |
+                    static_cast<uint64_t>(k));
+        }
+      }
+    });
+  }
+  sched.run(std::move(bodies));
+  return sched.trace();
+}
+
+}  // namespace
+
+int main() {
+  // Same policy, two runs: identical interleaving, step for step.
+  auto rr1 = run_workload(std::make_unique<wfq::sim::RoundRobinPolicy>());
+  auto rr2 = run_workload(std::make_unique<wfq::sim::RoundRobinPolicy>());
+  CHECK(!rr1.empty());
+  CHECK(rr1 == rr2);
+
+  auto ra = run_workload(std::make_unique<wfq::sim::RandomPolicy>(42));
+  auto rb = run_workload(std::make_unique<wfq::sim::RandomPolicy>(42));
+  CHECK(!ra.empty());
+  CHECK(ra == rb);
+
+  // A different seed drives a different schedule (same total work).
+  auto rc = run_workload(std::make_unique<wfq::sim::RandomPolicy>(43));
+  CHECK(ra != rc);
+
+  // Round-robin really is lock-step: within any window of live processes the
+  // pids cycle; check the first full round explicitly.
+  for (int i = 0; i < 6; ++i) CHECK_EQ(rr1[static_cast<size_t>(i)], i);
+
+  return wfq::test::exit_code();
+}

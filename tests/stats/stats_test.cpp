@@ -1,0 +1,98 @@
+// Unit tests for the stats helpers the bench tables and shape reports use.
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+bool near(double a, double b, double eps = 1e-9) {
+  return std::fabs(a - b) < eps;
+}
+
+void test_summarize() {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  auto s = wfq::stats::summarize(xs);
+  CHECK_EQ(s.n, 100u);
+  CHECK(near(s.mean, 50.5));
+  CHECK(near(s.min, 1.0));
+  CHECK(near(s.p50, 50.0));   // nearest-rank: ceil(0.50*100) = rank 50
+  CHECK(near(s.p99, 99.0));   // nearest-rank: ceil(0.99*100) = rank 99
+  CHECK(near(s.max, 100.0));
+
+  auto one = wfq::stats::summarize({42.0});
+  CHECK(near(one.mean, 42.0));
+  CHECK(near(one.p99, 42.0));
+  CHECK(near(one.max, 42.0));
+
+  auto empty = wfq::stats::summarize({});
+  CHECK_EQ(empty.n, 0u);
+  CHECK(near(empty.mean, 0.0));
+}
+
+void test_fits() {
+  // Perfect linear fit: R^2 exactly 1, slope exactly 2.
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {3, 5, 7, 9, 11};
+  CHECK(near(wfq::stats::fit_r2(xs, ys), 1.0, 1e-12));
+  CHECK(near(wfq::stats::fit_slope(xs, ys), 2.0, 1e-12));
+
+  // Constant y: any model explains it perfectly (R^2 = 1, slope 0).
+  std::vector<double> flat = {4, 4, 4, 4, 4};
+  CHECK(near(wfq::stats::fit_r2(xs, flat), 1.0));
+  CHECK(near(wfq::stats::fit_slope(xs, flat), 0.0));
+
+  // Constant x with varying y: nothing explained (R^2 = 0, slope 0).
+  std::vector<double> constx = {2, 2, 2, 2, 2};
+  CHECK(near(wfq::stats::fit_r2(constx, ys), 0.0));
+  CHECK(near(wfq::stats::fit_slope(constx, ys), 0.0));
+
+  // Noisy data: 0 < R^2 < 1, and clearly better for the true model.
+  std::vector<double> noisy = {3.1, 4.8, 7.2, 8.9, 11.1};
+  double r = wfq::stats::fit_r2(xs, noisy);
+  CHECK(r > 0.99 && r < 1.0);
+}
+
+void test_fmt() {
+  CHECK_EQ(wfq::stats::fmt(3.14159, 3), std::string("3.142"));
+  CHECK_EQ(wfq::stats::fmt(2.5, 0), std::string("2"));  // banker's-free fixed
+  CHECK_EQ(wfq::stats::fmt(42), std::string("42"));
+  CHECK_EQ(wfq::stats::fmt(static_cast<uint64_t>(1) << 40),
+           std::string("1099511627776"));
+  CHECK_EQ(wfq::stats::fmt(-7), std::string("-7"));
+  CHECK_EQ(wfq::stats::fmt(1.0), std::string("1.00"));  // default 2 decimals
+}
+
+void test_table_alignment() {
+  wfq::stats::Table t({"p", "steps/op", "label"});
+  t.add_row({"2", "10.25", "x"});
+  t.add_row({"64", "7", "longer-label"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  CHECK_EQ(lines.size(), 4u);  // header + rule + 2 rows
+  // Aligned columns => every line has identical width.
+  for (const auto& l : lines) CHECK_EQ(l.size(), lines[0].size());
+  // Right-alignment: cells end at the same offset, so "10.25" and the header
+  // "steps/op" share their last character column.
+  CHECK(lines[0].find("steps/op") != std::string::npos);
+  CHECK_EQ(lines[0].find("steps/op") + 8, lines[2].find("10.25") + 5);
+}
+
+}  // namespace
+
+int main() {
+  test_summarize();
+  test_fits();
+  test_fmt();
+  test_table_alignment();
+  return wfq::test::exit_code();
+}

@@ -1,0 +1,49 @@
+// Dependency-free check macros for the tier-1 tests: failures print the
+// expression/values and the test exits nonzero at the end of main via
+// wfq::test::failures(). Keeps CI portable (no gtest requirement).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wfq::test {
+
+inline int& failures() {
+  static int n = 0;
+  return n;
+}
+
+inline int exit_code() {
+  if (failures() == 0) {
+    std::cout << "OK\n";
+    return 0;
+  }
+  std::cout << failures() << " CHECK(s) FAILED\n";
+  return 1;
+}
+
+template <typename A, typename B>
+void check_eq(const A& a, const B& b, const char* ea, const char* eb,
+              const char* file, int line) {
+  if (!(a == b)) {
+    ++failures();
+    std::ostringstream os;
+    os << file << ":" << line << ": CHECK_EQ(" << ea << ", " << eb
+       << ") failed: " << a << " != " << b << "\n";
+    std::cerr << os.str();
+  }
+}
+
+inline void check(bool ok, const char* expr, const char* file, int line) {
+  if (!ok) {
+    ++failures();
+    std::cerr << file << ":" << line << ": CHECK(" << expr << ") failed\n";
+  }
+}
+
+}  // namespace wfq::test
+
+#define CHECK(x) ::wfq::test::check((x), #x, __FILE__, __LINE__)
+#define CHECK_EQ(a, b) \
+  ::wfq::test::check_eq((a), (b), #a, #b, __FILE__, __LINE__)
