@@ -1,0 +1,8 @@
+// The single entry point for the whole evaluation (ISSUE 3): every
+// experiment in bench/experiments/ registers itself with the api registry;
+// this main just hands argv to the shared CLI. `bench_runner --list` shows
+// the index; `bench_runner --experiment all --format json` regenerates the
+// machine-readable evaluation in one run.
+#include "api/cli.hpp"
+
+int main(int argc, char** argv) { return wfq::api::run_main(argc, argv); }

@@ -1,0 +1,68 @@
+// E2 — Theorem 22 (enqueue): an Enqueue takes O(log p) shared-memory steps,
+// worst case, even under the round-robin adversary.
+//
+// Harness: p simulated processes each perform K enqueues under the selected
+// adversary; every operation's exact step count is recorded. The paper's
+// claim is on the MAX per-op cost (wait-freedom gives a per-operation
+// bound, not just amortized). Expected shape for the wait-free queue: max
+// and mean grow ~ c*log2(p), flat in K. `--queues` sweeps the same
+// measurement over any registered step-counted queue.
+#include <cmath>
+
+#include "api/experiment.hpp"
+#include "api/harness.hpp"
+#include "api/queue_registry.hpp"
+
+namespace {
+
+using namespace wfq;
+
+api::Report run(const api::RunOptions& opts) {
+  api::Report r = api::make_report("steps_enqueue");
+  const int64_t ops = opts.ops_or(40);
+  const std::string adversary = opts.adversary_or("round-robin");
+  const auto procs = opts.procs_or({2, 4, 8, 16, 32, 64});
+  const auto queues = opts.queues_or({"ubq"});
+  r.preamble = {"E2: enqueue step complexity vs p  (Theorem 22: O(log p))",
+                "    simulator, " + adversary + " adversary, K=" +
+                    std::to_string(ops) + " enqueues/process"};
+
+  for (const std::string& qname : queues) {
+    bool is_default = queues.size() == 1 && qname == "ubq";
+    auto& sec = r.section(is_default ? "E2" : "E2:" + qname);
+    if (!is_default) sec.pre("queue: " + qname);
+    std::string warn =
+        api::step_counted_warning(qname, api::queue_info(qname).step_counted);
+    if (!warn.empty()) sec.pre(warn);
+    sec.cols({"p", "ceil(log2 p)", "ops", "steps/op mean", "steps/op p99",
+              "steps/op max", "max/log2(p)"});
+    std::vector<double> ps, maxima;
+    for (int p : procs) {
+      api::AnyQueue<uint64_t> q = api::make_queue<uint64_t>(
+          qname, api::sized_config(p, api::Backend::sim, ops));
+      api::OpSamples samples = api::measure_ops(q, p, ops,
+                                                api::OpKind::enqueue,
+                                                adversary);
+      auto s = stats::summarize(samples.steps);
+      double logp = std::log2(p);
+      sec.row(p, static_cast<int>(std::ceil(logp)),
+              static_cast<uint64_t>(s.n), api::cell(s.mean),
+              api::cell(s.p99), api::cell(s.max, 0),
+              api::cell_ratio(s.max, logp));
+      ps.push_back(p);
+      maxima.push_back(s.max);
+    }
+    sec.shape(is_default ? "enqueue max steps"
+                         : "enqueue max steps (" + qname + ")",
+              ps, maxima);
+    sec.note("  paper expectation: best fit log p or log^2 p, NOT p;");
+    sec.note("  max/log2(p) column roughly constant.");
+  }
+  return r;
+}
+
+const api::ExperimentRegistrar reg{
+    {"steps_enqueue", "e2",
+     "enqueue shared-memory steps vs p (Theorem 22: O(log p))", 2, run}};
+
+}  // namespace

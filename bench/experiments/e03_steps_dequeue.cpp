@@ -1,0 +1,155 @@
+// E3 — Theorem 22 (dequeue): a non-null Dequeue takes
+// O(log p * log c + log q_e + log q_d) steps; a null Dequeue O(log p).
+//
+// Three sweeps under the selected adversary (default round-robin):
+//   (a) steps vs p at (roughly) fixed queue size;
+//   (b) steps vs q at fixed p = 8 (prefill phase enqueues q/p per process,
+//       then a dequeue phase is measured);
+//   (c) null dequeues on an empty queue vs p.
+// Expected shape: (a) polylog in p (log or log^2, not linear);
+// (b) grows ~ log q with small constant; (c) same O(log p) scale as E2.
+#include <cmath>
+
+#include "api/experiment.hpp"
+#include "api/harness.hpp"
+#include "api/queue_registry.hpp"
+
+namespace {
+
+using namespace wfq;
+
+// Phase 1: each process enqueues `prefill` items. Phase 2: each process
+// dequeues `ops` items, measured. One sim run (phases separated by local
+// op-count, not barriers; lock-step keeps them roughly aligned).
+api::OpSamples measure_dequeues(api::AnyQueue<uint64_t>& q, int p,
+                                int64_t prefill, int64_t ops,
+                                const std::string& adversary) {
+  return api::run_sim(p, adversary, [&](int pid, api::OpSamples& out) {
+    q.bind_thread(pid);
+    for (int64_t k = 0; k < prefill; ++k)
+      q.enqueue((static_cast<uint64_t>(pid) << 32) | static_cast<uint64_t>(k));
+    for (int64_t k = 0; k < ops; ++k) {
+      platform::StepScope scope;
+      auto r = q.dequeue();
+      auto d = scope.delta();
+      if (r.has_value()) out.add(d);  // non-null dequeues only
+    }
+  });
+}
+
+void run_queue(api::Report& r, const api::RunOptions& opts,
+               const std::string& qname, bool multi) {
+  const std::string adversary = opts.adversary_or("round-robin");
+  const auto procs = opts.procs_or({2, 4, 8, 16, 32, 64});
+  // --ops sets both the per-process prefill and the measured dequeues in
+  // E3a, and the measured dequeues in E3b/E3c (whose prefill grids are the
+  // sweep variables themselves).
+  const int64_t ops = opts.ops_or(16);
+  const bool is_default = !multi && qname == "ubq";
+  const std::string suffix = is_default ? "" : ":" + qname;
+
+  auto make = [&](int p, int64_t ops_per_proc) {
+    return api::make_queue<uint64_t>(
+        qname, api::sized_config(p, api::Backend::sim, ops_per_proc));
+  };
+
+  const std::string step_warn =
+      api::step_counted_warning(qname, api::queue_info(qname).step_counted);
+
+  {
+    auto& sec = r.section("E3a" + suffix);
+    if (!is_default) sec.pre("queue: " + qname);
+    if (!step_warn.empty()) sec.pre(step_warn);
+    sec.pre("E3a: non-null dequeue steps vs p  (Theorem 22: O(log p log c + "
+            "log q))");
+    sec.pre("     " + adversary + " adversary, prefill " +
+            std::to_string(ops) + "/process, " + std::to_string(ops) +
+            " dequeues/process");
+    sec.pre("");
+    sec.cols({"p", "q0", "deqs", "steps/op mean", "steps/op p99",
+              "steps/op max", "max/log2^2(p)"});
+    std::vector<double> ps, maxima;
+    for (int p : procs) {
+      api::AnyQueue<uint64_t> q = make(p, 2 * ops);
+      api::OpSamples s = measure_dequeues(q, p, ops, ops, adversary);
+      auto sum = stats::summarize(s.steps);
+      double l = std::log2(p);
+      sec.row(p, ops * p, static_cast<uint64_t>(sum.n), api::cell(sum.mean),
+              api::cell(sum.p99), api::cell(sum.max, 0),
+              api::cell_ratio(sum.max, l * l));
+      ps.push_back(p);
+      maxima.push_back(sum.max);
+    }
+    sec.shape(is_default ? "dequeue max steps vs p"
+                         : "dequeue max steps vs p (" + qname + ")",
+              ps, maxima);
+    sec.note("  paper expectation: polylog fit (log or log^2), not p.");
+  }
+
+  {
+    auto& sec = r.section("E3b" + suffix);
+    sec.pre("E3b: non-null dequeue steps vs queue size q at p=8" +
+            (is_default ? "" : " (" + qname + ")"));
+    sec.pre("");
+    sec.cols({"q (prefill)", "steps/op mean", "steps/op max", "max/log2(q)"});
+    std::vector<double> qs, means;
+    const int64_t deqs_b = opts.ops_or(8);
+    for (int per_proc : {4, 16, 64, 256, 1024}) {
+      api::AnyQueue<uint64_t> q = make(8, per_proc + deqs_b);
+      int total_q = 8 * per_proc;
+      api::OpSamples s = measure_dequeues(q, 8, per_proc, deqs_b, adversary);
+      auto sum = stats::summarize(s.steps);
+      sec.row(total_q, api::cell(sum.mean), api::cell(sum.max, 0),
+              api::cell(sum.max / std::log2(total_q)));
+      qs.push_back(total_q);
+      means.push_back(sum.mean);
+    }
+    std::vector<double> logq;
+    for (double v : qs) logq.push_back(std::log2(v));
+    double r2_logq = stats::fit_r2(logq, means);
+    double r2_q = stats::fit_r2(qs, means);
+    sec.metric("r2_steps_logq", r2_logq).metric("r2_steps_q", r2_q);
+    sec.note("  R^2[steps ~ log q] = " + stats::fmt(r2_logq, 3) +
+             "   R^2[steps ~ q] = " + stats::fmt(r2_q, 3));
+    sec.note("  paper expectation: log-q fit wins by a wide margin.");
+  }
+
+  {
+    auto& sec = r.section("E3c" + suffix);
+    sec.pre("E3c: null dequeue steps vs p  (Theorem 22: O(log p))" +
+            (is_default ? "" : " (" + qname + ")"));
+    sec.pre("");
+    sec.cols({"p", "steps/op mean", "steps/op max"});
+    const int64_t deqs_c = opts.ops_or(12);
+    for (int p : opts.procs_or({2, 8, 32, 64})) {
+      api::AnyQueue<uint64_t> q = make(p, deqs_c);
+      api::OpSamples s =
+          api::run_sim(p, adversary, [&](int pid, api::OpSamples& out) {
+            q.bind_thread(pid);
+            for (int64_t k = 0; k < deqs_c; ++k) {
+              platform::StepScope scope;
+              auto got = q.dequeue();  // queue stays empty: all null
+              auto d = scope.delta();
+              if (!got.has_value()) out.add(d);
+            }
+          });
+      auto sum = stats::summarize(s.steps);
+      sec.row(p, api::cell(sum.mean), api::cell(sum.max, 0));
+    }
+    sec.note("  paper expectation: same O(log p) scale as enqueues (E2).");
+  }
+}
+
+api::Report run(const api::RunOptions& opts) {
+  api::Report r = api::make_report("steps_dequeue");
+  const auto queues = opts.queues_or({"ubq"});
+  for (const std::string& qname : queues)
+    run_queue(r, opts, qname, queues.size() > 1);
+  return r;
+}
+
+const api::ExperimentRegistrar reg{
+    {"steps_dequeue", "e3",
+     "dequeue steps vs p and queue size (Theorem 22, Lemma 20)", 3, run}};
+
+}  // namespace

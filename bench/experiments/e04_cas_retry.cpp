@@ -1,0 +1,76 @@
+// E4 — Proposition 19 vs the CAS retry problem: our queue performs O(log p)
+// CAS instructions per operation, worst case; the MS-queue performs Theta(p)
+// CAS attempts per operation under the round-robin adversary (each
+// successful head/tail CAS fails the other p-1 lock-step attempts).
+//
+// Harness: p processes each perform K enqueues in lock-step on every queue
+// in the set (default: the wait-free queue and the MS-queue). Reported: CAS
+// attempts and failures per operation. Expected shape: ours <= ~5*ceil(log2
+// p) and flat-ish; MS grows linearly in p.
+#include <cmath>
+
+#include "api/experiment.hpp"
+#include "api/harness.hpp"
+#include "api/queue_registry.hpp"
+
+namespace {
+
+using namespace wfq;
+
+api::Report run(const api::RunOptions& opts) {
+  api::Report r = api::make_report("cas_retry");
+  const int64_t ops = opts.ops_or(25);
+  const std::string adversary = opts.adversary_or("round-robin");
+  const auto procs = opts.procs_or({2, 4, 8, 16, 32, 64});
+  const auto queues = opts.queues_or({"ubq", "msq"});
+  r.preamble = {
+      "E4: CAS attempts per enqueue vs p  (Proposition 19: ours O(log p);",
+      "    MS-queue suffers the CAS retry problem: Theta(p))",
+      "    simulator, " + adversary + " adversary, K=" + std::to_string(ops) +
+          " enqueues/process"};
+
+  auto& sec = r.section("E4");
+  for (const std::string& qname : queues) {
+    std::string warn =
+        api::step_counted_warning(qname, api::queue_info(qname).step_counted);
+    if (!warn.empty()) sec.pre(warn);
+  }
+  std::vector<std::string> cols = {"p", "5ceil(log2 p)"};
+  for (const std::string& qname : queues) {
+    cols.push_back(qname + " cas/op");
+    cols.push_back(qname + " casfail/op");
+  }
+  sec.cols(cols);
+
+  std::vector<double> ps;
+  std::vector<std::vector<double>> cas_series(queues.size());
+  for (int p : procs) {
+    std::vector<api::Cell> row = {
+        api::cell(p),
+        api::cell(5 * static_cast<int>(std::ceil(std::log2(p))))};
+    for (size_t qi = 0; qi < queues.size(); ++qi) {
+      api::AnyQueue<uint64_t> q = api::make_queue<uint64_t>(
+          queues[qi], api::sized_config(p, api::Backend::sim, ops));
+      api::OpSamples s =
+          api::measure_ops(q, p, ops, api::OpKind::enqueue, adversary);
+      auto attempts = stats::summarize(s.cas_attempts);
+      auto failures = stats::summarize(s.cas_failures);
+      row.push_back(api::cell(attempts.mean));
+      row.push_back(api::cell(failures.mean));
+      cas_series[qi].push_back(attempts.mean);
+    }
+    sec.rows.push_back(std::move(row));
+    ps.push_back(p);
+  }
+  for (size_t qi = 0; qi < queues.size(); ++qi)
+    sec.shape(queues[qi] + " cas/op", ps, cas_series[qi]);
+  sec.note("  paper expectation: ubq stays within the 5*ceil(log2 p)");
+  sec.note("  budget with few failures; MS-queue CAS/op grows ~ p.");
+  return r;
+}
+
+const api::ExperimentRegistrar reg{
+    {"cas_retry", "e4",
+     "CAS attempts per op: O(log p) vs the MS-queue's Theta(p)", 4, run}};
+
+}  // namespace

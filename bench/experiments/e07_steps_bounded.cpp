@@ -1,0 +1,109 @@
+// E7 — Theorem 32: the bounded-space queue has amortized step complexity
+// O(log p * log(p + q_max)) per operation, including GC phases.
+//
+// Step accounting: shared atomic accesses (version pointers, last[],
+// responses) are counted by the platform layer; every RBT node visited or
+// created is charged one step (pbt::tls_rbt_touches), mirroring the paper's
+// model where each RBT operation costs O(log(p+q)) shared reads.
+//
+// Sweeps amortized steps/op vs p (fixed small q) and vs q (fixed p), with
+// GC period scaled down so collections actually occur within the run.
+#include <cmath>
+
+#include "api/experiment.hpp"
+#include "api/harness.hpp"
+#include "core/bounded_queue.hpp"
+#include "pbt/persistent_rbt.hpp"
+
+namespace {
+
+using namespace wfq;
+using Queue = core::BoundedQueue<uint64_t, platform::SimPlatform>;
+
+// Amortized (atomic steps + RBT touches) per op over a mixed workload,
+// GC phases included. Prefill ops count toward the denominator.
+double amortized(Queue& q, int p, int64_t prefill, int64_t ops,
+                 const std::string& adversary) {
+  api::OpSamples s =
+      api::run_sim(p, adversary, [&](int pid, api::OpSamples& out) {
+        q.bind_thread(pid);
+        uint64_t t0 = pbt::tls_rbt_touches();
+        platform::StepScope scope;
+        for (int64_t k = 0; k < prefill; ++k)
+          q.enqueue((static_cast<uint64_t>(pid) << 32) |
+                    static_cast<uint64_t>(k));
+        for (int64_t k = 0; k < ops; ++k) {
+          if (k % 2 == 0)
+            q.enqueue((static_cast<uint64_t>(pid) << 40) |
+                      static_cast<uint64_t>(k));
+          else
+            (void)q.dequeue();
+        }
+        out.add(scope.delta());  // one sample = this process's total atomics
+        out.rbt_touches = pbt::tls_rbt_touches() - t0;
+      });
+  double total_ops = static_cast<double>(p) * static_cast<double>(prefill + ops);
+  double total_steps = static_cast<double>(s.rbt_touches);
+  for (double v : s.steps) total_steps += v;
+  return total_steps / total_ops;
+}
+
+api::Report run(const api::RunOptions& opts) {
+  api::Report r = api::make_report("steps_bounded");
+  const std::string adversary = opts.adversary_or("round-robin");
+  const int64_t mixed_ops = opts.ops_or(16);
+  r.preamble = {"E7: bounded queue amortized RBT-steps/op  (Theorem 32:",
+                "    O(log p log(p+q)) amortized, GC included)",
+                "    " + adversary +
+                    " adversary; E7a uses the paper-default G, E7b G=32"};
+  {
+    auto& sec = r.section("E7a");
+    sec.pre("E7a: vs p (prefill 8/process, " + std::to_string(mixed_ops) +
+            " mixed ops/process)");
+    sec.cols({"p", "steps/op", "steps/op / (log2 p * log2(p+q))"});
+    std::vector<double> ps, ys;
+    for (int p : opts.procs_or({2, 4, 8, 16, 32})) {
+      Queue q(p, /*gc_period=*/0);  // paper default p^2 ceil(log2 p)
+      double a = amortized(q, p, 8, mixed_ops, adversary);
+      double denom = std::log2(p) * std::log2(p + 8.0 * p);
+      sec.row(p, api::cell(a), api::cell_ratio(a, denom));
+      ps.push_back(p);
+      ys.push_back(a);
+    }
+    sec.shape("bounded steps/op vs p", ps, ys);
+  }
+  {
+    auto& sec = r.section("E7b");
+    sec.pre("");
+    sec.pre("E7b: vs q at p=4 (prefill q/4 per process)");
+    sec.cols({"q", "steps/op", "steps/op / log2(p+q)"});
+    std::vector<double> qs, ys;
+    for (int per : {8, 32, 128, 512}) {
+      Queue q(4, /*gc_period=*/32);
+      double a = amortized(q, 4, per, mixed_ops, adversary);
+      double total_q = 4.0 * per;
+      sec.row(static_cast<int>(total_q), api::cell(a),
+              api::cell(a / std::log2(4 + total_q)));
+      qs.push_back(total_q);
+      ys.push_back(a);
+    }
+    std::vector<double> logq;
+    for (double v : qs) logq.push_back(std::log2(v));
+    double r2_logq = stats::fit_r2(logq, ys);
+    double r2_q = stats::fit_r2(qs, ys);
+    sec.metric("r2_steps_logq", r2_logq).metric("r2_steps_q", r2_q);
+    sec.note("  R^2[steps ~ log q] = " + stats::fmt(r2_logq, 3) +
+             "   R^2[steps ~ q] = " + stats::fmt(r2_q, 3));
+    sec.note("  paper expectation: growth ~ log p * log(p+q); the");
+    sec.note("  normalized columns stay roughly constant and the log-q");
+    sec.note("  fit beats the linear-q fit.");
+  }
+  return r;
+}
+
+const api::ExperimentRegistrar reg{
+    {"steps_bounded", "e7",
+     "bounded-queue amortized steps incl. RBT touches (Theorem 32)", 7,
+     run}};
+
+}  // namespace

@@ -1,0 +1,70 @@
+// E10 — Lemma 20: FindResponse's doubling search for the block containing
+// the e-th enqueue costs O(log(size_be + size_{b-1})) steps, so a dequeue's
+// search cost scales with the logarithm of the queue size, not with the
+// number of blocks ever appended.
+//
+// Harness (single process, real platform): enqueue q items, then measure
+// per-dequeue step counts while draining. Because the queue was built by
+// one process, every root block holds one operation and b - b_e ~ q, making
+// the doubling search the dominant term. Expected: steps/dequeue ~ a +
+// b*log2(q), i.e. the log-q fit wins decisively over linear q.
+#include <cmath>
+
+#include "api/experiment.hpp"
+#include "api/harness.hpp"
+#include "core/unbounded_queue.hpp"
+
+namespace {
+
+using namespace wfq;
+
+api::Report run(const api::RunOptions& opts) {
+  api::Report r = api::make_report("doubling_search");
+  (void)opts;
+  r.preamble = {"E10: dequeue search cost vs queue size (Lemma 20)",
+                "     single process; drain steps measured at head of a",
+                "     q-element queue"};
+  auto& sec = r.section("E10");
+  sec.cols({"q", "first-deq steps", "mean drain steps/op", "first/log2(q)"});
+  std::vector<double> qs, firsts;
+  for (uint64_t q_size : {8u, 64u, 512u, 4096u, 32768u}) {
+    core::UnboundedQueue<uint64_t> q(1);
+    for (uint64_t i = 0; i < q_size; ++i) q.enqueue(i);
+    // First dequeue: worst case, value lives q blocks back.
+    platform::StepScope first_scope;
+    (void)q.dequeue();
+    double first = static_cast<double>(first_scope.delta().total());
+    // Per-op scoping so the final null dequeue (which ends the drain) does
+    // not leak its steps into the successful-dequeue mean.
+    double drain_total = 0;
+    uint64_t drained = 1;
+    for (;;) {
+      platform::StepScope op_scope;
+      if (!q.dequeue().has_value()) break;
+      drain_total += static_cast<double>(op_scope.delta().total());
+      ++drained;
+    }
+    double mean = drain_total / static_cast<double>(drained - 1);
+    sec.row(q_size, api::cell(first, 0), api::cell(mean),
+            api::cell(first / std::log2(static_cast<double>(q_size))));
+    qs.push_back(static_cast<double>(q_size));
+    firsts.push_back(first);
+  }
+  std::vector<double> logq;
+  for (double v : qs) logq.push_back(std::log2(v));
+  double r2_logq = stats::fit_r2(logq, firsts);
+  double r2_q = stats::fit_r2(qs, firsts);
+  sec.metric("r2_first_deq_logq", r2_logq).metric("r2_first_deq_q", r2_q);
+  sec.note("  R^2[first-deq steps ~ log q] = " + stats::fmt(r2_logq, 3) +
+           "   R^2[~ q] = " + stats::fmt(r2_q, 3));
+  sec.note("  paper expectation: log fit ~1.0, linear fit clearly worse;");
+  sec.note("  first/log2(q) roughly constant.");
+  return r;
+}
+
+const api::ExperimentRegistrar reg{
+    {"doubling_search", "e10",
+     "dequeue search cost vs queue size (Lemma 20 doubling search)", 10,
+     run}};
+
+}  // namespace

@@ -1,0 +1,90 @@
+// E11 (extension) — Section 7's vector: append costs O(log p) steps (same
+// propagation as an enqueue plus the position walk), get costs
+// O(log^2 p + log n). Sweeps under the selected adversary, mirroring
+// E2/E3 so the "easily adapt our routines" claim is checked quantitatively.
+// (The vector is still the flat-FAA stub, so the shape columns carry
+// stub-grade numbers until its tentpole lands.)
+#include <algorithm>
+#include <cmath>
+
+#include "api/experiment.hpp"
+#include "api/harness.hpp"
+#include "core/wait_free_vector.hpp"
+
+namespace {
+
+using namespace wfq;
+using Vec = core::WaitFreeVector<uint64_t, platform::SimPlatform>;
+
+api::Report run(const api::RunOptions& opts) {
+  api::Report r = api::make_report("vector");
+  const std::string adversary = opts.adversary_or("round-robin");
+  r.preamble = {"E11: wait-free vector (Section 7 extension)"};
+  const int64_t appends = opts.ops_or(30);
+  {
+    auto& sec = r.section("E11a");
+    sec.pre("E11a: append steps vs p (K=" + std::to_string(appends) +
+            " appends/process)");
+    sec.cols({"p", "steps/op mean", "steps/op max", "max/log2(p)"});
+    std::vector<double> ps, maxima;
+    for (int p : opts.procs_or({2, 4, 8, 16, 32, 64})) {
+      // The flat-array stub aborts when its cell array fills; size it for
+      // the requested workload (never below its default capacity).
+      Vec v(p, std::max(size_t{1} << 16,
+                        static_cast<size_t>(appends) * p * 2));
+      api::OpSamples s =
+          api::run_sim(p, adversary, [&](int pid, api::OpSamples& out) {
+            v.bind_thread(pid);
+            for (int64_t k = 0; k < appends; ++k) {
+              platform::StepScope scope;
+              (void)v.append((static_cast<uint64_t>(pid) << 32) |
+                             static_cast<uint64_t>(k));
+              out.add(scope.delta());
+            }
+          });
+      auto sum = stats::summarize(s.steps);
+      sec.row(p, api::cell(sum.mean), api::cell(sum.max, 0),
+              api::cell_ratio(sum.max, std::log2(p)));
+      ps.push_back(p);
+      maxima.push_back(sum.max);
+    }
+    sec.shape("vector append max", ps, maxima);
+  }
+  {
+    auto& sec = r.section("E11b");
+    sec.pre("");
+    sec.pre("E11b: get(i) steps vs length n (single process)");
+    sec.cols({"n", "get steps mean", "get steps max", "max/log2(n)"});
+    std::vector<double> ns, maxima;
+    for (int64_t n : {64, 512, 4096, 32768}) {
+      core::WaitFreeVector<uint64_t> v(1);
+      for (int64_t i = 0; i < n; ++i) (void)v.append(static_cast<uint64_t>(i));
+      std::vector<double> steps;
+      for (int64_t i = 0; i < n; i += n / 64) {
+        platform::StepScope scope;
+        (void)v.get(i);
+        steps.push_back(static_cast<double>(scope.delta().total()));
+      }
+      auto sum = stats::summarize(steps);
+      sec.row(n, api::cell(sum.mean), api::cell(sum.max, 0),
+              api::cell(sum.max / std::log2(static_cast<double>(n))));
+      ns.push_back(static_cast<double>(n));
+      maxima.push_back(sum.max);
+    }
+    std::vector<double> logn;
+    for (double v2 : ns) logn.push_back(std::log2(v2));
+    double r2_logn = stats::fit_r2(logn, maxima);
+    double r2_n = stats::fit_r2(ns, maxima);
+    sec.metric("r2_get_max_logn", r2_logn).metric("r2_get_max_n", r2_n);
+    sec.note("  R^2[get max ~ log n] = " + stats::fmt(r2_logn, 3) +
+             "   R^2[~ n] = " + stats::fmt(r2_n, 3));
+    sec.note("  expectation: append ~ c*log p (like E2); get ~ log n.");
+  }
+  return r;
+}
+
+const api::ExperimentRegistrar reg{
+    {"vector", "e11", "wait-free vector append/get step shapes (Section 7)",
+     11, run}};
+
+}  // namespace

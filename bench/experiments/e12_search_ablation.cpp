@@ -1,4 +1,4 @@
-// E12 (ablation) — why FindResponse uses a *doubling* search (Bentley–Yao)
+// E12 (ablation) — why FindResponse uses a *doubling* search (Bentley-Yao)
 // rather than a plain binary search over all root blocks (line 91 /
 // Lemma 20): the doubling search costs O(log(b - b_e)) — distance to the
 // answer — while a full binary search costs O(log b) — the entire history
@@ -11,14 +11,15 @@
 // block. Expected: doubling stays flat as H grows (distance is fixed by
 // the queue size), full binary search grows with log H.
 #include <cmath>
-#include <iostream>
 
-#include "bench/common.hpp"
+#include "api/experiment.hpp"
+#include "api/harness.hpp"
 #include "core/unbounded_queue.hpp"
 
 namespace {
 
-using Queue = wfq::core::UnboundedQueue<uint64_t>;
+using namespace wfq;
+using Queue = core::UnboundedQueue<uint64_t>;
 using Block = Queue::Block;
 using Node = Queue::Node;
 
@@ -63,14 +64,14 @@ Cost search_costs(const Node* root, int64_t b, int64_t e) {
   return c;
 }
 
-}  // namespace
-
-int main() {
-  std::cout << "E12: doubling vs full binary search in FindResponse "
-               "(Lemma 20 ablation)\n"
-            << "     queue size fixed at q=32; history length H grows\n\n";
-  wfq::stats::Table table({"history H (blocks)", "doubling loads",
-                           "full-binary loads"});
+api::Report run(const api::RunOptions& opts) {
+  api::Report r = api::make_report("search_ablation");
+  (void)opts;
+  r.preamble = {"E12: doubling vs full binary search in FindResponse "
+                "(Lemma 20 ablation)",
+                "     queue size fixed at q=32; history length H grows"};
+  auto& sec = r.section("E12");
+  sec.cols({"history H (blocks)", "doubling loads", "full-binary loads"});
   std::vector<double> hs, dbl, fb;
   for (int64_t churn : {100, 1'000, 10'000, 100'000}) {
     Queue q(1);
@@ -86,22 +87,29 @@ int main() {
     const Block* prev = root->blocks.load(b - 1);
     int64_t e = 1 + prev->sumenq - prev->size;  // rank of the head element
     Cost c = search_costs(root, b, e);
-    table.add_row({wfq::stats::fmt(static_cast<int64_t>(head - 1)),
-                   wfq::stats::fmt(c.doubling), wfq::stats::fmt(c.full_binary)});
+    sec.row(head - 1, c.doubling, c.full_binary);
     hs.push_back(static_cast<double>(head - 1));
     dbl.push_back(c.doubling);
     fb.push_back(c.full_binary);
   }
-  table.print(std::cout);
   std::vector<double> logh;
   for (double h : hs) logh.push_back(std::log2(h));
-  std::cout << "\n  slope[doubling ~ log H] = "
-            << wfq::stats::fmt(wfq::stats::fit_slope(logh, dbl), 2)
-            << " (flat);  slope[full-binary ~ log H] = "
-            << wfq::stats::fmt(wfq::stats::fit_slope(logh, fb), 2)
-            << " (~1 load per doubling of H)\n"
-            << "  expectation: doubling cost is set by the queue size (fixed\n"
-            << "  here), so it stays constant while the naive search grows\n"
-            << "  with the total history — the design choice Lemma 20 needs.\n";
-  return 0;
+  double slope_dbl = stats::fit_slope(logh, dbl);
+  double slope_fb = stats::fit_slope(logh, fb);
+  sec.metric("slope_doubling_logh", slope_dbl)
+      .metric("slope_full_binary_logh", slope_fb);
+  sec.note("  slope[doubling ~ log H] = " + stats::fmt(slope_dbl, 2) +
+           " (flat);  slope[full-binary ~ log H] = " +
+           stats::fmt(slope_fb, 2) + " (~1 load per doubling of H)");
+  sec.note("  expectation: doubling cost is set by the queue size (fixed");
+  sec.note("  here), so it stays constant while the naive search grows");
+  sec.note("  with the total history — the design choice Lemma 20 needs.");
+  return r;
 }
+
+const api::ExperimentRegistrar reg{
+    {"search_ablation", "e12",
+     "doubling vs full binary search over the root array (Lemma 20)", 12,
+     run}};
+
+}  // namespace

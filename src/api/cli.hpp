@@ -1,0 +1,234 @@
+// Shared CLI for the experiment runner (ISSUE 3 tentpole, part 3): parses
+// the flag surface every experiment shares, resolves experiment names,
+// runs them, and hands the Reports to the selected emitter. bench_runner's
+// main() is one call to api::run_main.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/emit.hpp"
+#include "api/experiment.hpp"
+#include "api/queue_registry.hpp"
+#include "sim/adversary.hpp"
+
+namespace wfq::api {
+
+namespace detail {
+
+/// Strict integer parsing: the whole token must be digits (with optional
+/// leading '-'), mirroring the seed parsing in sim::make_policy — "4x8"
+/// (a typo for "4,8") must be an error, not a silent p=4 run. stoll alone
+/// is too lax (it skips leading whitespace and accepts '+'), so the shape
+/// is checked first.
+inline int64_t parse_int(const std::string& s, const std::string& flag) {
+  bool shape_ok = !s.empty() && s != "-";
+  for (size_t i = (s[0] == '-' ? 1 : 0); i < s.size() && shape_ok; ++i)
+    if (s[i] < '0' || s[i] > '9') shape_ok = false;
+  try {
+    if (!shape_ok) throw std::invalid_argument(s);
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer \"" + s + "\" for " + flag);
+  }
+}
+
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+inline void print_usage(std::ostream& os) {
+  os << "usage: bench_runner [--experiment <names|all>] [options]\n"
+        "\n"
+        "  --experiment, -e <csv>  experiments to run, by name or paper id\n"
+        "                          (e.g. steps_enqueue or e2); 'all' runs\n"
+        "                          every registration in E1..E12 order\n"
+        "  --list                  list registered experiments and exit\n"
+        "  --procs <csv>           override the process-count sweep, e.g. "
+        "2,4,8\n"
+        "  --ops <n>               override operations per process\n"
+        "  --adversary <spec>      round-robin | random[:<seed>] | anti-faa\n"
+        "  --seed <n>              seed used by '--adversary random' when no\n"
+        "                          explicit :<seed> is given (default 1)\n"
+        "  --queues <csv>          override the queue set, by registry name\n"
+        "  --format <fmt>          table (default) | csv | json\n"
+        "  --out <file>            write output to <file> instead of stdout\n"
+        "  --help, -h              this text\n"
+        "\n"
+        "registered queues:";
+  for (const QueueInfo& e : queue_registry())
+    os << " " << e.name;
+  os << "\nregistered adversaries:";
+  for (const std::string& n : sim::policy_names()) os << " " << n;
+  os << "\n";
+}
+
+inline void print_list(std::ostream& os) {
+  os << "registered experiments (--experiment <name|id>):\n";
+  for (const Experiment& e : experiments())
+    os << "  " << e.id << "  " << e.name << " — " << e.title << "\n";
+}
+
+}  // namespace detail
+
+/// Parses argv, runs the selected experiments, emits in the selected
+/// format. Returns a process exit code (0 ok; 2 usage error).
+inline int run_main(int argc, char** argv) {
+  RunOptions opts;
+  std::vector<std::string> selected;
+  std::string out_path;
+  bool list = false;
+
+  auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc)
+      throw std::invalid_argument("missing value for " + flag);
+    return argv[++i];
+  };
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a == "--experiment" || a == "-e") {
+        for (std::string& n : detail::split_csv(need_value(i, a)))
+          selected.push_back(std::move(n));
+      } else if (a == "--list") {
+        list = true;
+      } else if (a == "--procs") {
+        opts.procs.clear();  // a repeated flag overrides, like --queues
+        for (const std::string& p : detail::split_csv(need_value(i, a))) {
+          int64_t v = detail::parse_int(p, a);
+          // 4096 is far past any real sweep; the cap mainly stops values
+          // past INT_MAX from silently truncating to a different p.
+          if (v < 1 || v > 4096)
+            throw std::invalid_argument(
+                "--procs values must be in [1, 4096] (got " + p + ")");
+          opts.procs.push_back(static_cast<int>(v));
+        }
+      } else if (a == "--ops") {
+        opts.ops = detail::parse_int(need_value(i, a), a);
+        if (opts.ops < 1)
+          throw std::invalid_argument("--ops must be >= 1");
+      } else if (a == "--adversary") {
+        opts.adversary = need_value(i, a);
+      } else if (a == "--seed") {
+        int64_t v = detail::parse_int(need_value(i, a), a);
+        if (v < 0) throw std::invalid_argument("--seed must be >= 0");
+        opts.seed = static_cast<uint64_t>(v);
+      } else if (a == "--queues") {
+        opts.queues = detail::split_csv(need_value(i, a));
+        for (const std::string& q : opts.queues)
+          (void)queue_info(q);  // validate names early
+      } else if (a == "--format") {
+        std::string f = need_value(i, a);
+        if (f == "table")
+          opts.format = Format::table;
+        else if (f == "csv")
+          opts.format = Format::csv;
+        else if (f == "json")
+          opts.format = Format::json;
+        else
+          throw std::invalid_argument("unknown --format \"" + f +
+                                      "\" (table|csv|json)");
+      } else if (a == "--out") {
+        out_path = need_value(i, a);
+      } else if (a == "--help" || a == "-h") {
+        detail::print_usage(std::cout);
+        return 0;
+      } else if (!a.empty() && a[0] != '-') {
+        selected.push_back(a);  // positional experiment name
+      } else {
+        throw std::invalid_argument("unknown flag \"" + a + "\"");
+      }
+    }
+    // "--adversary random" composes with --seed (wherever it appeared in
+    // argv); explicit "random:<seed>" wins. Validated like any other spec.
+    if (opts.adversary == "random")
+      opts.adversary = "random:" + std::to_string(opts.seed);
+    if (!opts.adversary.empty())
+      (void)sim::make_policy(opts.adversary);  // validate spec early
+  } catch (const std::exception& ex) {
+    std::cerr << "bench_runner: " << ex.what() << "\n\n";
+    detail::print_usage(std::cerr);
+    return 2;
+  }
+
+  if (list) {
+    detail::print_list(std::cout);
+    return 0;
+  }
+  if (selected.empty()) {
+    detail::print_usage(std::cerr);
+    std::cerr << "\n";
+    detail::print_list(std::cerr);
+    return 2;
+  }
+
+  // `all` owns every Experiment copy to_run points into; it must outlive
+  // the run loop below.
+  const std::vector<Experiment> all = experiments();
+  std::vector<const Experiment*> to_run;
+  // Dedup: "-e all,figure2" must not run (or emit) figure2 twice — JSON
+  // consumers key the experiments array by name.
+  auto add_once = [&](const Experiment* e) {
+    for (const Experiment* have : to_run)
+      if (have == e) return;
+    to_run.push_back(e);
+  };
+  for (const std::string& key : selected) {
+    if (key == "all") {
+      for (const Experiment& e : all) add_once(&e);
+      continue;
+    }
+    // find_experiment owns the name/id resolution semantics; `all` only
+    // re-homes the result so its lifetime spans the run loop.
+    const Experiment* found = find_experiment(key);
+    if (found == nullptr) {
+      std::cerr << "bench_runner: unknown experiment \"" << key << "\"\n\n";
+      detail::print_list(std::cerr);
+      return 2;
+    }
+    for (const Experiment& e : all) {
+      if (e.name == found->name) {
+        add_once(&e);
+        break;
+      }
+    }
+  }
+
+  std::vector<Report> reports;
+  reports.reserve(to_run.size());
+  for (const Experiment* e : to_run) {
+    try {
+      reports.push_back(e->run(opts));
+    } catch (const std::exception& ex) {
+      std::cerr << "bench_runner: experiment \"" << e->name
+                << "\" failed: " << ex.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (out_path.empty()) {
+    emit(std::cout, opts.format, reports);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_runner: cannot open " << out_path << "\n";
+      return 1;
+    }
+    emit(out, opts.format, reports);
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace wfq::api

@@ -1,0 +1,91 @@
+// The API seam every queue variant plugs into (ISSUE 3 tentpole):
+//
+//  - wfq::api::ConcurrentQueue<Q, T>: the C++20 concept that formalizes the
+//    previously informal bind_thread/enqueue/dequeue convention shared by
+//    the ordering-tree queue and every baseline, over both Real and Sim
+//    platforms.
+//  - wfq::api::AnyQueue<T>: a type-erased owning handle so registries,
+//    experiment sweeps and conformance tests can hold "some queue" chosen
+//    at runtime by name (see queue_registry.hpp) without templates leaking
+//    into bench code. AnyQueue<T> itself satisfies ConcurrentQueue<T>.
+//
+// The virtual hop costs a few ns per op; experiments that measure shared-
+// memory *steps* are unaffected (step counts are taken inside the platform
+// layer), and wall-clock experiments (E9) pay it uniformly for every queue.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wfq::api {
+
+/// A FIFO queue usable from concurrently bound threads: `bind_thread(pid)`
+/// pins the calling thread to process slot `pid` (leaf index for the
+/// ordering-tree queues, ignored by baselines that need no pinning),
+/// `enqueue` is total, and `dequeue` returns nullopt iff the queue was
+/// observably empty.
+template <typename Q, typename T = uint64_t>
+concept ConcurrentQueue = requires(Q q, T v, int pid) {
+  q.bind_thread(pid);
+  q.enqueue(std::move(v));
+  { q.dequeue() } -> std::same_as<std::optional<T>>;
+};
+
+/// Type-erased owning handle over any ConcurrentQueue implementation.
+/// Construct with AnyQueue<T>::of<Impl>(name, ctor args...); the impl is
+/// built in place (queue types are neither copyable nor movable — they
+/// hold atomics and mutexes).
+template <typename T>
+class AnyQueue {
+ public:
+  AnyQueue() = default;
+  AnyQueue(AnyQueue&&) noexcept = default;
+  AnyQueue& operator=(AnyQueue&&) noexcept = default;
+
+  template <typename Q, typename... Args>
+    requires ConcurrentQueue<Q, T>
+  static AnyQueue of(std::string name, Args&&... args) {
+    AnyQueue a;
+    a.impl_ = std::make_unique<Impl<Q>>(std::forward<Args>(args)...);
+    a.name_ = std::move(name);
+    return a;
+  }
+
+  void bind_thread(int pid) { impl_->bind_thread(pid); }
+  void enqueue(T x) { impl_->enqueue(std::move(x)); }
+  std::optional<T> dequeue() { return impl_->dequeue(); }
+
+  /// Registry name the handle was created under ("" if default-constructed).
+  const std::string& name() const { return name_; }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual void bind_thread(int pid) = 0;
+    virtual void enqueue(T x) = 0;
+    virtual std::optional<T> dequeue() = 0;
+  };
+
+  template <typename Q>
+  struct Impl final : Iface {
+    template <typename... Args>
+    explicit Impl(Args&&... args) : q(std::forward<Args>(args)...) {}
+    void bind_thread(int pid) override { q.bind_thread(pid); }
+    void enqueue(T x) override { q.enqueue(std::move(x)); }
+    std::optional<T> dequeue() override { return q.dequeue(); }
+    Q q;
+  };
+
+  std::unique_ptr<Iface> impl_;
+  std::string name_;
+};
+
+static_assert(ConcurrentQueue<AnyQueue<uint64_t>, uint64_t>,
+              "AnyQueue must satisfy the concept it erases");
+
+}  // namespace wfq::api

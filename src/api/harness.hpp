@@ -1,0 +1,163 @@
+// Measurement harness shared by every experiment (migrated here from the
+// old bench/common.hpp as part of the ISSUE 3 API redesign, and generalized
+// from "round-robin only" to any registered adversary policy):
+//
+//  - OpSamples: per-operation shared-step samples from one sim run;
+//  - run_sim / run_round_robin: p simulated processes under a policy;
+//  - measure_ops: the canonical per-op step measurement loop over any
+//    ConcurrentQueue (AnyQueue included), so sweeps are written once and
+//    parameterized by queue name;
+//  - run_gated_pairs: the Real-platform producer/consumer pairing used by
+//    the space experiments.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/concurrent_queue.hpp"
+#include "platform/step_counter.hpp"
+#include "sim/adversary.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfq::api {
+
+/// Per-operation shared-memory step samples gathered from one sim run.
+struct OpSamples {
+  std::vector<double> steps;         // total shared steps per op
+  std::vector<double> cas_attempts;  // CAS attempts per op
+  std::vector<double> cas_failures;  // failed CAS per op
+  uint64_t rbt_touches = 0;          // bounded queue: RBT nodes touched
+
+  void add(const platform::StepCounts& d) {
+    steps.push_back(static_cast<double>(d.total()));
+    cas_attempts.push_back(static_cast<double>(d.cas_attempts));
+    cas_failures.push_back(static_cast<double>(d.cas_failures));
+  }
+  void merge(const OpSamples& o) {
+    steps.insert(steps.end(), o.steps.begin(), o.steps.end());
+    cas_attempts.insert(cas_attempts.end(), o.cas_attempts.begin(),
+                        o.cas_attempts.end());
+    cas_failures.insert(cas_failures.end(), o.cas_failures.begin(),
+                        o.cas_failures.end());
+    rbt_touches += o.rbt_touches;
+  }
+};
+
+/// Runs `body(pid, samples_for_pid)` on p simulated processes under the
+/// given adversary policy and returns the merged per-op samples.
+template <typename Body>
+OpSamples run_sim(int procs, std::unique_ptr<sim::SchedulingPolicy> policy,
+                  Body&& body, uint64_t max_steps = 200'000'000) {
+  std::vector<OpSamples> per_proc(static_cast<size_t>(procs));
+  sim::Scheduler sched(std::move(policy), max_steps);
+  std::vector<std::function<void()>> bodies;
+  for (int pid = 0; pid < procs; ++pid) {
+    bodies.emplace_back(
+        [&, pid] { body(pid, per_proc[static_cast<size_t>(pid)]); });
+  }
+  sched.run(std::move(bodies));
+  OpSamples all;
+  for (auto& s : per_proc) all.merge(s);
+  return all;
+}
+
+/// Adversary selected by spec string ("round-robin", "random:<seed>",
+/// "anti-faa" — see sim::make_policy).
+template <typename Body>
+OpSamples run_sim(int procs, const std::string& adversary, Body&& body,
+                  uint64_t max_steps = 200'000'000) {
+  return run_sim(procs, sim::make_policy(adversary),
+                 std::forward<Body>(body), max_steps);
+}
+
+/// The historical default: the paper's canonical lock-step adversary.
+template <typename Body>
+OpSamples run_round_robin(int procs, Body&& body,
+                          uint64_t max_steps = 200'000'000) {
+  return run_sim(procs, std::make_unique<sim::RoundRobinPolicy>(),
+                 std::forward<Body>(body), max_steps);
+}
+
+/// What each simulated process does per slot in measure_ops.
+enum class OpKind { enqueue, dequeue, alternate };
+
+/// The canonical sweep loop: p processes each perform `ops` operations of
+/// `kind` on `q` under `adversary`, with every operation's exact step delta
+/// sampled. `alternate` starts with an enqueue (the E5 50/50 mix). Values
+/// are tagged (pid << 32 | k) so linearizability checks can attribute them.
+template <typename Queue>
+  requires ConcurrentQueue<Queue, uint64_t>
+OpSamples measure_ops(Queue& q, int procs, int64_t ops, OpKind kind,
+                      const std::string& adversary,
+                      uint64_t max_steps = 200'000'000) {
+  return run_sim(
+      procs, adversary,
+      [&](int pid, OpSamples& out) {
+        q.bind_thread(pid);
+        for (int64_t k = 0; k < ops; ++k) {
+          platform::StepScope scope;
+          bool enq = kind == OpKind::enqueue ||
+                     (kind == OpKind::alternate && k % 2 == 0);
+          if (enq)
+            q.enqueue((static_cast<uint64_t>(pid) << 32) |
+                      static_cast<uint64_t>(k));
+          else
+            (void)q.dequeue();
+          out.add(scope.delta());
+        }
+      },
+      max_steps);
+}
+
+/// Warning line for step-model experiments asked to sweep a queue whose
+/// shared accesses are NOT counted (lock-based baselines): their "steps"
+/// read as zero, which must not be presented as a measurement. Returns an
+/// empty string for step-counted queues.
+inline std::string step_counted_warning(const std::string& qname,
+                                        bool step_counted) {
+  if (step_counted) return {};
+  return "  WARNING: " + qname +
+         " is not step-counted (no Platform atomics); its step columns "
+         "read 0 and are not measurements — see E9 for its wall-clock "
+         "numbers.";
+}
+
+/// Real-platform producer/consumer harness: runs `pairs` enqueue+dequeue
+/// pairs on two threads with the queue size held at ~target_q. The
+/// consumer gates on the producer's progress so every dequeue is non-null
+/// (a spinning consumer would add millions of null-dequeue operations) and
+/// the producer is throttled so q_max stays at the target (Theorem 31's
+/// space bound is in terms of q_max).
+template <typename Queue>
+void run_gated_pairs(Queue& q, uint64_t pairs, uint64_t target_q) {
+  std::atomic<uint64_t> produced{0}, consumed{0};
+  std::thread producer([&] {
+    q.bind_thread(0);
+    for (uint64_t i = 0; i < pairs + target_q; ++i) {
+      while (i > consumed.load(std::memory_order_acquire) + target_q)
+        std::this_thread::yield();
+      q.enqueue(i);
+      produced.store(i + 1, std::memory_order_release);
+    }
+  });
+  std::thread consumer([&] {
+    q.bind_thread(1);
+    for (uint64_t got = 0; got < pairs; ++got) {
+      while (produced.load(std::memory_order_acquire) <= got)
+        std::this_thread::yield();
+      while (!q.dequeue().has_value()) {
+      }
+      consumed.store(got + 1, std::memory_order_release);
+    }
+  });
+  producer.join();
+  consumer.join();
+}
+
+}  // namespace wfq::api

@@ -1,0 +1,158 @@
+// String-keyed factory registry for every queue implementation in the repo
+// (ISSUE 3 tentpole, part 2): `api::make_queue<T>("ubq", cfg)` builds any of
+// the seven queues on either platform backend, so experiment sweeps, the
+// bench_runner `--queues` flag and the conformance tests enumerate
+// implementations by name instead of by #include. Adding a queue variant
+// means adding one entry here — no bench or test code changes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/concurrent_queue.hpp"
+#include "baselines/faa_queue.hpp"
+#include "baselines/kp_queue.hpp"
+#include "baselines/lock_queues.hpp"
+#include "baselines/ms_queue.hpp"
+#include "core/bounded_queue.hpp"
+#include "core/unbounded_queue.hpp"
+#include "platform/platform.hpp"
+
+namespace wfq::api {
+
+/// Which Platform the queue's shared accesses go through. Sim instantiations
+/// yield to the cooperative scheduler before every access; Real ones are
+/// plain (counted) std::atomic ops.
+enum class Backend { real, sim };
+
+struct QueueConfig {
+  int procs = 1;
+  Backend backend = Backend::real;
+  /// Bounded queue only: GC period G; <= 0 selects the paper default
+  /// p^2 ceil(log2 p), -1 disables GC (matches BoundedQueue's ctor).
+  int64_t gc_period = 0;
+  /// Fixed-segment queues (faaq) only: cell-array capacity.
+  size_t capacity = size_t{1} << 18;
+};
+
+struct QueueInfo {
+  std::string name;
+  std::string description;
+  /// True when the implementation is templated on the Platform, i.e. its
+  /// shared accesses are step-counted and a Sim instantiation has yield
+  /// points. Lock-based baselines are false: they build under either
+  /// backend but take zero modeled steps, so step-model experiments skip
+  /// them by default.
+  bool step_counted = true;
+};
+
+/// Registered queue metadata, in canonical registry order.
+inline const std::vector<QueueInfo>& queue_registry() {
+  static const std::vector<QueueInfo> entries = {
+      {"ubq", "wait-free ordering-tree queue, unbounded space (the paper)",
+       true},
+      {"bq", "bounded-space wait-free queue (Section 6; stub until its "
+             "tentpole)",
+       true},
+      {"msq", "Michael-Scott lock-free queue (CAS-retry exemplar)", true},
+      {"kpq", "Kogan-Petrank-style wait-free queue (Theta(p) scan)", true},
+      {"faaq", "fetch&add array queue (fast in practice, Omega(p) worst "
+               "case)",
+       true},
+      {"twolock", "Michael-Scott two-lock queue (wall-clock baseline)",
+       false},
+      {"mutex", "single-mutex std::deque wrapper (wall-clock baseline)",
+       false},
+  };
+  return entries;
+}
+
+/// All registered queue names, in registry order.
+inline std::vector<std::string> queue_names() {
+  std::vector<std::string> names;
+  for (const QueueInfo& e : queue_registry()) names.push_back(e.name);
+  return names;
+}
+
+/// Metadata for one registered queue; throws on unknown names.
+inline const QueueInfo& queue_info(const std::string& name) {
+  for (const QueueInfo& e : queue_registry())
+    if (e.name == name) return e;
+  std::string names;
+  for (const QueueInfo& e : queue_registry()) names += " " + e.name;
+  throw std::invalid_argument("api::queue_info: unknown queue \"" + name +
+                              "\"; known:" + names);
+}
+
+/// QueueConfig sized for a sweep of `ops_per_proc` operations per process:
+/// fixed-segment queues (faaq) get a cell array covering the workload's
+/// worst-case slot claims — each op can claim several slots when poisoning
+/// forces reclaims (anti-faa makes this the common case), so an 8x margin
+/// over the op count is applied (never below the default capacity).
+/// Experiments that let --ops/--procs grow the workload must use this
+/// instead of a bare {procs, backend} config, or faaq aborts on exhaustion.
+inline QueueConfig sized_config(int procs, Backend backend,
+                                int64_t ops_per_proc) {
+  QueueConfig cfg;
+  cfg.procs = procs;
+  cfg.backend = backend;
+  uint64_t claims = static_cast<uint64_t>(procs) *
+                    static_cast<uint64_t>(ops_per_proc < 0 ? 0 : ops_per_proc);
+  cfg.capacity =
+      std::max(cfg.capacity, static_cast<size_t>(8 * claims + (1u << 14)));
+  return cfg;
+}
+
+namespace detail {
+
+/// Builds Q<T, Real or Sim> per cfg.backend with the given ctor args.
+template <template <typename, typename> class Q, typename T, typename... Args>
+AnyQueue<T> make_on_backend(const char* name, Backend backend,
+                            Args&&... args) {
+  if (backend == Backend::sim)
+    return AnyQueue<T>::template of<Q<T, platform::SimPlatform>>(
+        name, std::forward<Args>(args)...);
+  return AnyQueue<T>::template of<Q<T, platform::RealPlatform>>(
+      name, std::forward<Args>(args)...);
+}
+
+}  // namespace detail
+
+/// Builds a fresh queue by registry name; throws std::invalid_argument on
+/// unknown names. The lock-based baselines have no Platform template
+/// parameter; they are returned unchanged for either backend (under the sim
+/// scheduler they simply expose no yield points, see QueueInfo).
+template <typename T>
+AnyQueue<T> make_queue(const std::string& name, const QueueConfig& cfg) {
+  if (name == "ubq")
+    return detail::make_on_backend<core::UnboundedQueue, T>(
+        "ubq", cfg.backend, cfg.procs);
+  if (name == "bq")
+    return detail::make_on_backend<core::BoundedQueue, T>(
+        "bq", cfg.backend, cfg.procs, cfg.gc_period);
+  if (name == "msq")
+    return detail::make_on_backend<baselines::MsQueue, T>("msq", cfg.backend,
+                                                          cfg.procs);
+  if (name == "kpq")
+    return detail::make_on_backend<baselines::KpQueue, T>("kpq", cfg.backend,
+                                                          cfg.procs);
+  if (name == "faaq")
+    return detail::make_on_backend<baselines::FaaArrayQueue, T>(
+        "faaq", cfg.backend, cfg.procs, cfg.capacity);
+  if (name == "twolock")
+    return AnyQueue<T>::template of<baselines::TwoLockQueue<T>>("twolock");
+  if (name == "mutex")
+    return AnyQueue<T>::template of<baselines::MutexQueue<T>>("mutex");
+  // Unknown names get queue_info's invalid_argument (one error path, one
+  // known-names list); a name that IS registered but missing above means
+  // the registry and this factory chain fell out of sync — fail loudly.
+  (void)queue_info(name);
+  throw std::logic_error("api::make_queue: queue \"" + name +
+                         "\" is registered but has no factory entry; add it "
+                         "to the make_queue chain in queue_registry.hpp");
+}
+
+}  // namespace wfq::api

@@ -28,7 +28,8 @@
 // the root block's size prefix, and finds the enqueue it returns with the
 // Lemma-20 doubling search (cost grows with the distance back to the
 // enqueue's block — i.e. with log of the queue size — not with the total
-// history length; see bench_doubling_search / bench_search_ablation), then
+// history length; see experiments E10/E12, bench_runner -e doubling_search
+// / -e search_ablation), then
 // descends to the enqueue's leaf to read the element.
 #pragma once
 

@@ -1,0 +1,130 @@
+// Adversary (SchedulingPolicy) factory: string specs name scheduling
+// policies so benches, tests and the bench_runner CLI can select an
+// adversary without naming C++ types (`--adversary anti-faa`). Specs:
+//
+//   "round-robin"      perfect lock-step (the paper's canonical CAS-retry
+//                      adversary); alias "rr".
+//   "random:<seed>"    seeded uniform-random schedule; the seed is required
+//                      and must be >= 1 (seed 0 is the xorshift64* fixed
+//                      point and is rejected — see RandomPolicy).
+//   "anti-faa"         targeted schedule that races dequeuers past stalled
+//                      enqueuers (ROADMAP: the FAA-array queue's Omega(p)
+//                      worst case; see AntiFaaPolicy below and E5b).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace wfq::sim {
+
+/// Targeted adversary for fetch&add-array queues (E5b): processes are split
+/// into enqueuers (pids < n/2) and dequeuers (the rest, matching the role
+/// assignment of the benches that request this policy). Each round gives
+/// every enqueuer exactly one shared step — just enough to execute its FAA
+/// slot claim (or the CAS that discovers the slot was poisoned) — then
+/// parks it, and hands one victim dequeuer a long exclusive burst. The
+/// victim must poison every claimed-but-unpublished cell ahead of it, one
+/// CAS per stalled enqueuer, so a single dequeue costs Theta(p) shared
+/// steps: the Omega(p) worst-case execution the paper proves exists for
+/// FAA-based designs. When only one role remains runnable the policy
+/// degenerates to round-robin, so every workload still terminates.
+class AntiFaaPolicy : public SchedulingPolicy {
+ public:
+  int pick(const std::vector<char>& runnable, uint64_t step) override {
+    const int n = static_cast<int>(runnable.size());
+    const int enqueuers = n / 2;  // pids [0, n/2) stall; the rest race
+    if (burst_ == 0) burst_ = 5 * n + 8;
+
+    bool live_enq = any_in(runnable, 0, enqueuers);
+    bool live_deq = any_in(runnable, enqueuers, n);
+    if (!live_enq || !live_deq) return rr_.pick(runnable, step);
+
+    if (next_enq_ < enqueuers) {  // phase A: one step per enqueuer
+      for (; next_enq_ < enqueuers; ++next_enq_) {
+        if (runnable[static_cast<size_t>(next_enq_)]) return next_enq_++;
+      }
+    }
+    // Phase B: exclusive burst for the current victim dequeuer.
+    if (burst_left_ == 0) {
+      burst_left_ = burst_;
+      victim_ = next_victim(runnable, enqueuers, n);
+    }
+    if (victim_ < 0 || !runnable[static_cast<size_t>(victim_)])
+      victim_ = next_victim(runnable, enqueuers, n);
+    if (--burst_left_ == 0) next_enq_ = 0;  // burst spent: back to phase A
+    return victim_;
+  }
+
+ private:
+  static bool any_in(const std::vector<char>& runnable, int lo, int hi) {
+    for (int i = lo; i < hi; ++i)
+      if (runnable[static_cast<size_t>(i)]) return true;
+    return false;
+  }
+
+  int next_victim(const std::vector<char>& runnable, int lo, int hi) {
+    for (int k = 1; k <= hi - lo; ++k) {
+      int c = lo + (victim_ - lo + k + (hi - lo)) % (hi - lo);
+      if (runnable[static_cast<size_t>(c)]) return c;
+    }
+    return -1;
+  }
+
+  int next_enq_ = 0;       // phase-A cursor over enqueuer pids
+  int victim_ = 0;         // dequeuer receiving the current burst
+  uint64_t burst_ = 0;     // burst length, fixed at 5n+8 on first pick
+  uint64_t burst_left_ = 0;
+  RoundRobinPolicy rr_;    // degenerate mode once one role has finished
+};
+
+/// Spec strings accepted by make_policy, for --help output and docs.
+inline std::vector<std::string> policy_names() {
+  return {"round-robin", "random:<seed>", "anti-faa"};
+}
+
+/// Builds a fresh policy from its spec string; throws std::invalid_argument
+/// on unknown names or a missing/zero random seed. Each call returns an
+/// independent policy instance (policies are stateful).
+inline std::unique_ptr<SchedulingPolicy> make_policy(const std::string& spec) {
+  if (spec == "round-robin" || spec == "rr")
+    return std::make_unique<RoundRobinPolicy>();
+  if (spec == "anti-faa") return std::make_unique<AntiFaaPolicy>();
+  if (spec.rfind("random", 0) == 0) {
+    if (spec.size() < 8 || spec[6] != ':')
+      throw std::invalid_argument(
+          "sim::make_policy: \"" + spec +
+          "\" — the random adversary needs an explicit seed: \"random:<seed>\""
+          " with seed >= 1 (seed 0 is rejected, see RandomPolicy)");
+    // All-digits check first: stoull would silently wrap "random:-1" to
+    // 2^64-1 — the exact class of silent seed remapping this factory
+    // exists to eliminate.
+    std::string digits = spec.substr(7);
+    bool all_digits = !digits.empty();
+    for (char c : digits)
+      if (c < '0' || c > '9') all_digits = false;
+    uint64_t seed = 0;
+    try {
+      if (!all_digits) throw std::invalid_argument(spec);
+      seed = std::stoull(digits);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("sim::make_policy: bad seed in \"" + spec +
+                                  "\" (want \"random:<seed>\", seed >= 1)");
+    }
+    if (seed == 0)
+      throw std::invalid_argument(
+          "sim::make_policy: \"random:0\" is invalid — seed 0 is the "
+          "xorshift64* fixed point; use any seed >= 1");
+    return std::make_unique<RandomPolicy>(seed);
+  }
+  std::string names;
+  for (const std::string& n : policy_names()) names += " " + n;
+  throw std::invalid_argument("sim::make_policy: unknown adversary \"" + spec +
+                              "\"; known:" + names);
+}
+
+}  // namespace wfq::sim

@@ -49,9 +49,19 @@ class RoundRobinPolicy : public SchedulingPolicy {
 
 /// Seeded adversary: picks a uniformly pseudo-random runnable process each
 /// step (xorshift64*). Same seed => same schedule, for replay tests.
+///
+/// Seed 0 is rejected, not remapped: 0 is the fixed point of xorshift64*
+/// (the generator would emit 0 forever), and silently substituting a magic
+/// constant made "random:0" replay as some undocumented other seed. The
+/// factory (sim::make_policy) surfaces the same error with the spec string.
 class RandomPolicy : public SchedulingPolicy {
  public:
-  explicit RandomPolicy(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  explicit RandomPolicy(uint64_t seed) : state_(seed) {
+    if (seed == 0)
+      throw std::invalid_argument(
+          "sim::RandomPolicy: seed 0 is invalid (xorshift64* fixed point); "
+          "use any seed >= 1");
+  }
 
   int pick(const std::vector<char>& runnable, uint64_t /*step*/) override {
     int live = 0;

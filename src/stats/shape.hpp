@@ -1,0 +1,89 @@
+// Growth-model selection for the bench shape reports: which of the three
+// candidate models of p — log p, log^2 p, or p itself — best explains a
+// measured series. Linear fits explain superlinear data too, so the raw
+// argmax over R^2 would report "p" for clean logarithmic data; instead the
+// smallest model wins unless a larger one improves R^2 by more than a 2%
+// margin (kModelMargin). This was previously buried in bench/common.hpp;
+// it lives here so the rule is unit-testable (tests/stats/stats_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace wfq::stats {
+
+/// Minimum R^2 improvement a larger growth model must show over a smaller
+/// one before it is preferred.
+inline constexpr double kModelMargin = 0.02;
+
+struct ShapeFit {
+  double r2_logp = 0;
+  double r2_log2p = 0;
+  double r2_linp = 0;
+  std::string best;  // "log p" | "log^2 p" | "p"
+};
+
+/// Tie-breaking rule, exposed separately so the margin logic is testable
+/// without constructing data: prefer log p; upgrade to log^2 p only if it
+/// beats the incumbent by > kModelMargin; upgrade to p under the same rule.
+inline std::string pick_model(double r_log, double r_log2, double r_lin) {
+  const char* best = "log p";
+  double bestr = r_log;
+  if (r_log2 > bestr + kModelMargin) {
+    best = "log^2 p";
+    bestr = r_log2;
+  }
+  if (r_lin > bestr + kModelMargin) {
+    best = "p";
+  }
+  return best;
+}
+
+inline double log2_clamped(double x) { return std::log2(x < 1 ? 1 : x); }
+
+/// Fits y against log p, log^2 p and p and names the winner per pick_model.
+inline ShapeFit fit_shape(const std::vector<double>& ps,
+                          const std::vector<double>& ys) {
+  std::vector<double> logp, log2p, linp;
+  logp.reserve(ps.size());
+  log2p.reserve(ps.size());
+  linp.reserve(ps.size());
+  for (double p : ps) {
+    double l = log2_clamped(p);
+    logp.push_back(l);
+    log2p.push_back(l * l);
+    linp.push_back(p);
+  }
+  ShapeFit f;
+  f.r2_logp = fit_r2(logp, ys);
+  f.r2_log2p = fit_r2(log2p, ys);
+  f.r2_linp = fit_r2(linp, ys);
+  // Two points fit every one-parameter model exactly, and so does a
+  // constant series (fit_r2's syy==0 convention returns 1.0 for every
+  // model) — a "best" verdict in either case would be fabricated.
+  size_t n = std::min(ps.size(), ys.size());
+  bool constant = true;
+  for (size_t i = 1; i < n; ++i)
+    if (ys[i] != ys[0]) constant = false;
+  if (n < 3)
+    f.best = "indeterminate (<3 points)";
+  else if (constant)
+    f.best = "indeterminate (constant series)";
+  else
+    f.best = pick_model(f.r2_logp, f.r2_log2p, f.r2_linp);
+  return f;
+}
+
+/// The benches' one-line rendering of a shape fit (same format the
+/// hand-rolled report_shape printed, so default outputs are unchanged).
+inline std::string shape_line(const std::string& series, const ShapeFit& f) {
+  return "  shape(" + series + "): R^2[log p]=" + fmt(f.r2_logp, 3) +
+         "  R^2[log^2 p]=" + fmt(f.r2_log2p, 3) +
+         "  R^2[p]=" + fmt(f.r2_linp, 3) + "  -> best: " + f.best;
+}
+
+}  // namespace wfq::stats

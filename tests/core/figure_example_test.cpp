@@ -19,7 +19,7 @@ struct Op {
   uint64_t arg;
 };
 
-// Same schedule as bench_figure2.cpp: per-process program order matches the
+// Same schedule as bench/experiments/e01_figure2.cpp: per-process program order matches the
 // figure (P0: a,b,d,Deq1; P1: Deq2,c,Deq3; P2: e,Deq4,Deq5,f,h; P3: g,Deq6).
 const Op kOps[] = {
     {0, true, 'a'}, {2, true, 'e'}, {1, false, 0}, {0, true, 'b'},

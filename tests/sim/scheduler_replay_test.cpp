@@ -7,8 +7,12 @@
 #include <memory>
 #include <vector>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/unbounded_queue.hpp"
 #include "platform/platform.hpp"
+#include "sim/adversary.hpp"
 #include "sim/scheduler.hpp"
 #include "test_util.hpp"
 
@@ -39,6 +43,56 @@ std::vector<int> run_workload(std::unique_ptr<wfq::sim::SchedulingPolicy> pol) {
   return sched.trace();
 }
 
+bool make_policy_throws(const std::string& spec) {
+  try {
+    (void)wfq::sim::make_policy(spec);
+  } catch (const std::invalid_argument&) {
+    return true;
+  }
+  return false;
+}
+
+/// The adversary factory must replay exactly like hand-constructed policies,
+/// and seed handling must be explicit: seed 0 (the xorshift64* fixed point,
+/// previously remapped silently to a magic constant) is rejected both at the
+/// RandomPolicy constructor and in the "random:<seed>" spec.
+void factory_and_seed_handling() {
+  // Factory-built policies replay the hand-constructed schedules.
+  CHECK(run_workload(wfq::sim::make_policy("round-robin")) ==
+        run_workload(std::make_unique<wfq::sim::RoundRobinPolicy>()));
+  CHECK(run_workload(wfq::sim::make_policy("random:42")) ==
+        run_workload(std::make_unique<wfq::sim::RandomPolicy>(42)));
+
+  // Seed 0 is an error, not a silent remap; so are malformed specs.
+  bool ctor_threw = false;
+  try {
+    wfq::sim::RandomPolicy p0(0);
+  } catch (const std::invalid_argument&) {
+    ctor_threw = true;
+  }
+  CHECK(ctor_threw);
+  CHECK(make_policy_throws("random:0"));
+  CHECK(make_policy_throws("random"));      // seed is required
+  CHECK(make_policy_throws("random:"));     // empty seed
+  CHECK(make_policy_throws("random:abc"));  // non-numeric seed
+  CHECK(make_policy_throws("random:7x"));   // trailing garbage
+  CHECK(make_policy_throws("random:-1"));   // stoull would wrap to 2^64-1
+  CHECK(make_policy_throws("random:+7"));   // digits only, no sign
+  CHECK(make_policy_throws("no-such-adversary"));
+  // ...and seed 1 (the old magic remap would have hidden it) is fine and
+  // distinct from other seeds.
+  CHECK(run_workload(wfq::sim::make_policy("random:1")) ==
+        run_workload(wfq::sim::make_policy("random:1")));
+  CHECK(run_workload(wfq::sim::make_policy("random:1")) !=
+        run_workload(wfq::sim::make_policy("random:2")));
+
+  // The targeted anti-FAA adversary is registered and deterministic.
+  auto af1 = run_workload(wfq::sim::make_policy("anti-faa"));
+  auto af2 = run_workload(wfq::sim::make_policy("anti-faa"));
+  CHECK(!af1.empty());
+  CHECK(af1 == af2);
+}
+
 }  // namespace
 
 int main() {
@@ -60,6 +114,8 @@ int main() {
   // Round-robin really is lock-step: within any window of live processes the
   // pids cycle; check the first full round explicitly.
   for (int i = 0; i < 6; ++i) CHECK_EQ(rr1[static_cast<size_t>(i)], i);
+
+  factory_and_seed_handling();
 
   return wfq::test::exit_code();
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/shape.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "test_util.hpp"
@@ -58,6 +59,66 @@ void test_fits() {
   CHECK(r > 0.99 && r < 1.0);
 }
 
+// The growth-model selection rule (moved from bench/common.hpp into
+// stats/shape.hpp): smallest model wins unless a larger one improves R^2 by
+// more than the 2% margin. The margin cases were previously untested.
+void test_pick_model_margin() {
+  using wfq::stats::pick_model;
+  // Clear winners.
+  CHECK_EQ(pick_model(0.99, 0.80, 0.70), std::string("log p"));
+  CHECK_EQ(pick_model(0.80, 0.99, 0.70), std::string("log^2 p"));
+  CHECK_EQ(pick_model(0.50, 0.60, 0.99), std::string("p"));
+  // Within-margin ties break toward the smaller model: log^2 p and p each
+  // lead log p by <= 0.02, so log p keeps the crown.
+  CHECK_EQ(pick_model(0.98, 1.00, 0.70), std::string("log p"));
+  CHECK_EQ(pick_model(0.98, 0.70, 1.00), std::string("log p"));
+  CHECK_EQ(pick_model(0.99, 1.00, 1.00), std::string("log p"));
+  // Just past the margin flips the decision.
+  CHECK_EQ(pick_model(0.97, 0.995, 0.70), std::string("log^2 p"));
+  CHECK_EQ(pick_model(0.97, 0.70, 0.995), std::string("p"));
+  // p must beat the *incumbent* (possibly log^2 p), not log p: here
+  // log^2 p takes over from log p, and p's lead over log^2 p is within
+  // the margin, so log^2 p stays.
+  CHECK_EQ(pick_model(0.90, 0.99, 1.00), std::string("log^2 p"));
+  // Chained upgrade: p clears both hurdles.
+  CHECK_EQ(pick_model(0.90, 0.94, 0.99), std::string("p"));
+}
+
+void test_fit_shape() {
+  std::vector<double> ps = {2, 4, 8, 16, 32, 64};
+  // Exact logarithmic data: R^2[log p] = 1 and log p wins.
+  std::vector<double> ylog, ylog2, ylin;
+  for (double p : ps) {
+    double l = std::log2(p);
+    ylog.push_back(3 * l + 1);
+    ylog2.push_back(2 * l * l + 5);
+    ylin.push_back(4 * p + 7);
+  }
+  auto f = wfq::stats::fit_shape(ps, ylog);
+  CHECK(near(f.r2_logp, 1.0, 1e-12));
+  CHECK_EQ(f.best, std::string("log p"));
+  CHECK_EQ(wfq::stats::fit_shape(ps, ylog2).best, std::string("log^2 p"));
+  auto flin = wfq::stats::fit_shape(ps, ylin);
+  CHECK(near(flin.r2_linp, 1.0, 1e-12));
+  CHECK_EQ(flin.best, std::string("p"));
+  // p-values below 1 are clamped to log2(1) = 0, not NaN.
+  auto clamped = wfq::stats::fit_shape({0.5, 2, 4}, {1, 2, 3});
+  CHECK(std::isfinite(clamped.r2_logp));
+  // Two points fit every model exactly — no "best" verdict is fabricated.
+  auto two = wfq::stats::fit_shape({8, 32}, {10, 40});
+  CHECK_EQ(two.best, std::string("indeterminate (<3 points)"));
+  CHECK_EQ(wfq::stats::fit_shape({}, {}).best,
+           std::string("indeterminate (<3 points)"));
+  // Same for constant series (e.g. an unmeasured all-zero step sweep):
+  // every model "fits" a flat line, so no growth verdict is claimed.
+  auto flat3 = wfq::stats::fit_shape({2, 8, 32}, {0, 0, 0});
+  CHECK_EQ(flat3.best, std::string("indeterminate (constant series)"));
+  // The rendered line keeps the historical format.
+  std::string line = wfq::stats::shape_line("series-x", flin);
+  CHECK(line.find("shape(series-x)") != std::string::npos);
+  CHECK(line.find("-> best: p") != std::string::npos);
+}
+
 void test_fmt() {
   CHECK_EQ(wfq::stats::fmt(3.14159, 3), std::string("3.142"));
   CHECK_EQ(wfq::stats::fmt(2.5, 0), std::string("2"));  // banker's-free fixed
@@ -92,6 +153,8 @@ void test_table_alignment() {
 int main() {
   test_summarize();
   test_fits();
+  test_pick_model_margin();
+  test_fit_shape();
   test_fmt();
   test_table_alignment();
   return wfq::test::exit_code();
