@@ -61,6 +61,10 @@ inline void print_usage(std::ostream& os) {
         "  --seed <n>              seed used by '--adversary random' when no\n"
         "                          explicit :<seed> is given (default 1)\n"
         "  --queues <csv>          override the queue set, by registry name\n"
+        "                          (bounded takes a parameter: bounded:g=<G>)\n"
+        "  --gc <G>                bounded-queue GC period for experiments\n"
+        "                          that take one (E6, E7; E8 sweeps its own\n"
+        "                          grid): 0 = paper default, -1 = disabled\n"
         "  --format <fmt>          table (default) | csv | json\n"
         "  --out <file>            write output to <file> instead of stdout\n"
         "  --help, -h              this text\n"
@@ -118,6 +122,12 @@ inline int run_main(int argc, char** argv) {
         opts.ops = detail::parse_int(need_value(i, a), a);
         if (opts.ops < 1)
           throw std::invalid_argument("--ops must be >= 1");
+      } else if (a == "--gc") {
+        opts.gc = detail::parse_int(need_value(i, a), a);
+        if (opts.gc < -1)
+          throw std::invalid_argument(
+              "--gc must be >= 1, 0 (paper default G = p^2 ceil(log2 p)) "
+              "or -1 (disable collection)");
       } else if (a == "--adversary") {
         opts.adversary = need_value(i, a);
       } else if (a == "--seed") {

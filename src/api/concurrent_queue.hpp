@@ -35,6 +35,18 @@ concept ConcurrentQueue = requires(Q q, T v, int pid) {
   { q.dequeue() } -> std::same_as<std::optional<T>>;
 };
 
+/// Space introspection snapshot surfaced through AnyQueue so the space
+/// experiments (E6/E8) can sweep queues by registry name: `live_blocks`
+/// counts reachable blocks (array suffixes + archived RBT entries for the
+/// bounded queue, total appended blocks for the unbounded one) and
+/// `ebr_retired` the reclamation backlog. `known` is false for queues with
+/// no block-space debug surface (baselines), whose rows read "-".
+struct SpaceStats {
+  uint64_t live_blocks = 0;
+  uint64_t ebr_retired = 0;
+  bool known = false;
+};
+
 /// Type-erased owning handle over any ConcurrentQueue implementation.
 /// Construct with AnyQueue<T>::of<Impl>(name, ctor args...); the impl is
 /// built in place (queue types are neither copyable nor movable — they
@@ -59,6 +71,10 @@ class AnyQueue {
   void enqueue(T x) { impl_->enqueue(std::move(x)); }
   std::optional<T> dequeue() { return impl_->dequeue(); }
 
+  /// Block-space snapshot (uncounted debug surface); `known == false` when
+  /// the wrapped implementation exposes no space introspection.
+  SpaceStats space_stats() const { return impl_->space_stats(); }
+
   /// Registry name the handle was created under ("" if default-constructed).
   const std::string& name() const { return name_; }
   explicit operator bool() const { return impl_ != nullptr; }
@@ -69,6 +85,7 @@ class AnyQueue {
     virtual void bind_thread(int pid) = 0;
     virtual void enqueue(T x) = 0;
     virtual std::optional<T> dequeue() = 0;
+    virtual SpaceStats space_stats() const = 0;
   };
 
   template <typename Q>
@@ -78,6 +95,20 @@ class AnyQueue {
     void bind_thread(int pid) override { q.bind_thread(pid); }
     void enqueue(T x) override { q.enqueue(std::move(x)); }
     std::optional<T> dequeue() override { return q.dequeue(); }
+    SpaceStats space_stats() const override {
+      // Detected per implementation: the bounded queue reports its live
+      // suffix + archive and EBR backlog, the unbounded one total blocks.
+      if constexpr (requires(const Q& cq) { cq.debug_live_blocks(); }) {
+        return {static_cast<uint64_t>(q.debug_live_blocks()),
+                q.debug_ebr().retired_count(), true};
+      } else if constexpr (requires(const Q& cq) {
+                             cq.debug_total_blocks();
+                           }) {
+        return {static_cast<uint64_t>(q.debug_total_blocks()), 0, true};
+      } else {
+        return {};
+      }
+    }
     Q q;
   };
 

@@ -32,12 +32,18 @@ enum class Format { table, csv, json };
 /// Empty/zero fields mean "use the experiment's default" — the *_or helpers
 /// encode that, so each experiment states its historical constants inline.
 struct RunOptions {
+  /// Sentinel for "--gc not given": distinct from 0 (paper-default G) and
+  /// -1 (GC disabled), both of which are meaningful values.
+  static constexpr int64_t kGcUnset = INT64_MIN;
+
   std::vector<int> procs;           // --procs 2,4,8
   int64_t ops = 0;                  // --ops N (per process)
   std::string adversary;            // --adversary round-robin|random:<s>|anti-faa
   uint64_t seed = 1;                // --seed; the CLI folds it into
                                     // "--adversary random" => "random:<seed>"
   std::vector<std::string> queues;  // --queues ubq,msq
+  int64_t gc = kGcUnset;            // --gc G (bounded queue: 0 = paper
+                                    // default, -1 = disabled)
   Format format = Format::table;    // --format table|csv|json
 
   std::vector<int> procs_or(std::vector<int> def) const {
@@ -50,6 +56,7 @@ struct RunOptions {
   std::vector<std::string> queues_or(std::vector<std::string> def) const {
     return queues.empty() ? std::move(def) : queues;
   }
+  int64_t gc_or(int64_t def) const { return gc == kGcUnset ? def : gc; }
 };
 
 /// One table cell: rendered text plus, when numeric, the raw value so the

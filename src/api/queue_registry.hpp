@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -31,8 +32,9 @@ enum class Backend { real, sim };
 struct QueueConfig {
   int procs = 1;
   Backend backend = Backend::real;
-  /// Bounded queue only: GC period G; <= 0 selects the paper default
-  /// p^2 ceil(log2 p), -1 disables GC (matches BoundedQueue's ctor).
+  /// Bounded queue only: GC period G; 0 selects the paper default
+  /// p^2 ceil(log2 p), negative (-1) disables GC (matches BoundedQueue's
+  /// ctor). A "bounded:g=<G>" registry key overrides this field.
   int64_t gc_period = 0;
   /// Fixed-segment queues (faaq) only: cell-array capacity.
   size_t capacity = size_t{1} << 18;
@@ -54,8 +56,9 @@ inline const std::vector<QueueInfo>& queue_registry() {
   static const std::vector<QueueInfo> entries = {
       {"ubq", "wait-free ordering-tree queue, unbounded space (the paper)",
        true},
-      {"bq", "bounded-space wait-free queue (Section 6; stub until its "
-             "tentpole)",
+      {"bounded",
+       "bounded-space wait-free queue (Section 6: GC phases + persistent "
+       "RBT + EBR; parameterize as bounded:g=<G>)",
        true},
       {"msq", "Michael-Scott lock-free queue (CAS-retry exemplar)", true},
       {"kpq", "Kogan-Petrank-style wait-free queue (Theta(p) scan)", true},
@@ -77,14 +80,64 @@ inline std::vector<std::string> queue_names() {
   return names;
 }
 
-/// Metadata for one registered queue; throws on unknown names.
+/// Parses the bounded queue's parameterized registry key. Returns nullopt
+/// for names that are not bounded-queue keys at all; returns the GC period
+/// for "bounded" (nullopt period -> use cfg.gc_period, i.e. the paper
+/// default) and "bounded:g=<G>" with G >= 1 or G == -1 (disabled).
+/// Malformed keys throw with the expected shape spelled out, mirroring how
+/// sim::make_policy rejects bad "random:<seed>" specs instead of guessing.
+struct BoundedKey {
+  bool has_period = false;
+  int64_t gc_period = 0;
+};
+
+inline std::optional<BoundedKey> parse_bounded_key(const std::string& name) {
+  if (name == "bounded" || name == "bq")  // "bq" is the pre-PR-4 alias
+    return BoundedKey{};
+  if (name.rfind("bounded", 0) != 0) return std::nullopt;
+  const std::string want =
+      "want \"bounded\" or \"bounded:g=<G>\" with G >= 1 or G == -1 "
+      "(disable GC)";
+  if (name.rfind("bounded:g=", 0) != 0)
+    throw std::invalid_argument("api::make_queue: bad bounded-queue key \"" +
+                                name + "\"; " + want);
+  std::string digits = name.substr(10);
+  // All-digits check first (optional leading '-'): stoll would silently
+  // accept whitespace/trailing junk — the class of key typo this factory
+  // exists to reject loudly.
+  bool shape_ok = !digits.empty() && digits != "-";
+  for (size_t i = (digits[0] == '-' ? 1 : 0); i < digits.size() && shape_ok;
+       ++i)
+    if (digits[i] < '0' || digits[i] > '9') shape_ok = false;
+  int64_t g = 0;
+  try {
+    if (!shape_ok) throw std::invalid_argument(digits);
+    g = std::stoll(digits);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("api::make_queue: bad GC period in \"" +
+                                name + "\"; " + want);
+  }
+  if (g == 0 || g < -1)
+    throw std::invalid_argument(
+        "api::make_queue: GC period " + digits + " in \"" + name +
+        "\" is out of range; " + want +
+        " (the paper default is spelled \"bounded\", not g=0)");
+  return BoundedKey{true, g};
+}
+
+/// Metadata for one registered queue; throws on unknown names. Accepts the
+/// bounded queue's parameterized keys ("bounded:g=<G>", alias "bq"),
+/// resolving them to the "bounded" registry entry.
 inline const QueueInfo& queue_info(const std::string& name) {
+  std::string base = name;
+  if (parse_bounded_key(name).has_value()) base = "bounded";
   for (const QueueInfo& e : queue_registry())
-    if (e.name == name) return e;
+    if (e.name == base) return e;
   std::string names;
   for (const QueueInfo& e : queue_registry()) names += " " + e.name;
   throw std::invalid_argument("api::queue_info: unknown queue \"" + name +
-                              "\"; known:" + names);
+                              "\"; known:" + names +
+                              " (bounded takes :g=<G>)");
 }
 
 /// QueueConfig sized for a sweep of `ops_per_proc` operations per process:
@@ -130,9 +183,11 @@ AnyQueue<T> make_queue(const std::string& name, const QueueConfig& cfg) {
   if (name == "ubq")
     return detail::make_on_backend<core::UnboundedQueue, T>(
         "ubq", cfg.backend, cfg.procs);
-  if (name == "bq")
+  if (std::optional<BoundedKey> bk = parse_bounded_key(name)) {
+    int64_t g = bk->has_period ? bk->gc_period : cfg.gc_period;
     return detail::make_on_backend<core::BoundedQueue, T>(
-        "bq", cfg.backend, cfg.procs, cfg.gc_period);
+        name.c_str(), cfg.backend, cfg.procs, g);
+  }
   if (name == "msq")
     return detail::make_on_backend<baselines::MsQueue, T>("msq", cfg.backend,
                                                           cfg.procs);

@@ -1,0 +1,123 @@
+// Epoch-based reclamation for the bounded-space queue (paper Section 6):
+// blocks truncated out of a node's array — and superseded archive versions —
+// must not be freed while a concurrent operation may still hold a raw
+// pointer to them. Readers pin the global epoch for the duration of one
+// queue operation; the GC phase retires garbage into the current epoch's
+// bucket and frees a bucket only once every pinned reader has observably
+// moved past it (the classic three-bucket, two-grace-period scheme).
+//
+// Division of labor with the queue:
+//  - pin/unpin are called by every operation (O(1) shared steps each, so
+//    they disappear into the amortized bound);
+//  - retire/try_advance/collect are called only from inside a GC phase,
+//    which the queue serializes with its gc lock, so the retire buckets
+//    need no internal synchronization;
+//  - retired_count() is the E6/E8 introspection surface: the backlog of
+//    retired-but-not-yet-freed objects, which stays bounded because every
+//    GC phase attempts an epoch advance.
+//
+// Epoch accesses go through Platform atomics: each pin/unpin/scan access is
+// a shared-memory step in the paper's model (and a yield point under the
+// sim scheduler), so reclamation overhead is measured, not hidden.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace wfq::core {
+
+template <typename Platform = platform::RealPlatform>
+class Ebr {
+ public:
+  /// Slot value meaning "no operation in flight on this process".
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  explicit Ebr(int procs)
+      : procs_(procs < 1 ? 1 : procs),
+        slots_(new Slot[static_cast<size_t>(procs_)]) {}
+
+  Ebr(const Ebr&) = delete;
+  Ebr& operator=(const Ebr&) = delete;
+
+  ~Ebr() {
+    for (auto& bucket : buckets_) free_bucket(bucket);
+  }
+
+  /// Marks process `pid` as reading under the current epoch. The seq_cst
+  /// fence keeps the pin store from reordering past the operation's first
+  /// pointer load on TSO hardware (fences are bookkeeping, not modeled
+  /// steps; the store itself is a counted shared step).
+  void pin(int pid) {
+    slots_[static_cast<size_t>(pid)].epoch.store(epoch_.load());
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  void unpin(int pid) {
+    slots_[static_cast<size_t>(pid)].epoch.store(kIdle);
+  }
+
+  /// Hands `p` to the collector; freed via `del` two epoch advances later.
+  /// GC-phase only (serialized by the queue's gc lock).
+  void retire(void* p, void (*del)(void*)) {
+    buckets_[epoch_.unsafe_peek() % 3].push_back({p, del});
+    retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Advances the global epoch if every pinned process has caught up with
+  /// it, then frees the bucket that just became unreachable (retired two
+  /// epochs ago). GC-phase only. Returns true if the epoch moved.
+  bool try_advance() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    uint64_t g = epoch_.load();
+    for (int i = 0; i < procs_; ++i) {
+      uint64_t e = slots_[static_cast<size_t>(i)].epoch.load();
+      if (e != kIdle && e != g) return false;  // a reader is still behind
+    }
+    if (!epoch_.cas(g, g + 1)) return false;
+    free_bucket(buckets_[(g + 1) % 3]);  // epoch g-2's garbage
+    return true;
+  }
+
+  /// Backlog of retired-but-not-yet-freed objects (E6's "EBR backlog"
+  /// column). Transient garbage: bounded by ~3 GC phases' worth.
+  uint64_t retired_count() const {
+    return retired_.load(std::memory_order_relaxed) -
+           freed_.load(std::memory_order_relaxed);
+  }
+
+  /// Total objects ever reclaimed (the gc tests assert this goes nonzero).
+  uint64_t freed_count() const {
+    return freed_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t epoch() const { return epoch_.unsafe_peek(); }
+
+ private:
+  struct Retired {
+    void* p;
+    void (*del)(void*);
+  };
+
+  struct alignas(64) Slot {
+    typename Platform::template Atomic<uint64_t> epoch{kIdle};
+  };
+
+  void free_bucket(std::vector<Retired>& bucket) {
+    for (const Retired& r : bucket) r.del(r.p);
+    freed_.fetch_add(bucket.size(), std::memory_order_relaxed);
+    bucket.clear();
+  }
+
+  int procs_;
+  std::unique_ptr<Slot[]> slots_;
+  typename Platform::template Atomic<uint64_t> epoch_{0};
+  std::vector<Retired> buckets_[3];  // GC-lock-guarded; indexed epoch % 3
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> freed_{0};
+};
+
+}  // namespace wfq::core

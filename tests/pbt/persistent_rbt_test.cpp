@@ -1,0 +1,125 @@
+// Unit tests for the path-copying persistent red-black tree:
+//  (a) RB + BST invariants hold after randomized insert/erase sequences
+//      (validate() checks red-red, black-height and key order);
+//  (b) differential agreement with std::map on find/size across the run;
+//  (c) persistence: version roots snapshotted mid-run read back exactly
+//      their historical contents after arbitrary later mutations;
+//  (d) step accounting: every operation's tls_rbt_touches delta equals its
+//      visited + created node counts (last_op_stats).
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "pbt/persistent_rbt.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using Rbt = wfq::pbt::PersistentRbt<uint64_t>;
+
+/// One operation with the touches == visited + created assertion wrapped
+/// around it.
+template <typename F>
+auto counted(F&& f) {
+  uint64_t t0 = wfq::pbt::tls_rbt_touches();
+  auto out = f();
+  uint64_t delta = wfq::pbt::tls_rbt_touches() - t0;
+  const wfq::pbt::RbtOpStats& st = wfq::pbt::last_op_stats();
+  CHECK_EQ(delta, st.visited + st.created);
+  return out;
+}
+
+void randomized_against_map(uint64_t seed, int ops, uint64_t key_range) {
+  std::mt19937_64 rng(seed);
+  Rbt::Ptr root = Rbt::empty();
+  std::map<uint64_t, uint64_t> model;
+
+  // Snapshots for the persistence check: (version root, model copy).
+  std::vector<std::pair<Rbt::Ptr, std::map<uint64_t, uint64_t>>> snaps;
+
+  for (int k = 0; k < ops; ++k) {
+    uint64_t key = rng() % key_range;
+    uint64_t action = rng() % 100;
+    if (action < 55) {
+      uint64_t val = rng();
+      root = counted([&] { return Rbt::insert(root, key, val); });
+      model[key] = val;
+    } else if (action < 85) {
+      root = counted([&] { return Rbt::erase(root, key); });
+      model.erase(key);
+    } else {
+      const uint64_t* got = counted([&] { return Rbt::find(root, key); });
+      auto it = model.find(key);
+      CHECK_EQ(got != nullptr, it != model.end());
+      if (got != nullptr && it != model.end()) CHECK_EQ(*got, it->second);
+    }
+    try {
+      Rbt::validate(root);
+    } catch (const std::exception& ex) {
+      CHECK(false);
+      std::cerr << "validate failed after op " << k << ": " << ex.what()
+                << "\n";
+      return;
+    }
+    if (k % (ops / 8 + 1) == 0) snaps.emplace_back(root, model);
+  }
+  CHECK_EQ(Rbt::size(root), model.size());
+
+  // Persistence: every snapshot still reads exactly its historical state,
+  // key set and values, even though the tree mutated arbitrarily since.
+  for (const auto& [snap_root, snap_model] : snaps) {
+    CHECK_EQ(Rbt::size(snap_root), snap_model.size());
+    size_t seen = 0;
+    auto it = snap_model.begin();
+    bool order_ok = true;
+    Rbt::for_each(snap_root, [&](uint64_t key, uint64_t val) {
+      if (it == snap_model.end() || it->first != key || it->second != val)
+        order_ok = false;
+      else
+        ++it;
+      ++seen;
+    });
+    CHECK(order_ok);
+    CHECK_EQ(seen, snap_model.size());
+    Rbt::validate(snap_root);
+  }
+}
+
+void erase_absent_is_noop() {
+  Rbt::Ptr root = Rbt::empty();
+  for (uint64_t k = 0; k < 20; ++k) root = Rbt::insert(root, k * 2, k);
+  Rbt::Ptr same = counted([&] { return Rbt::erase(root, 11); });  // absent
+  CHECK(same == root);  // identical version, not a copy
+  CHECK_EQ(wfq::pbt::last_op_stats().created, uint64_t{0});
+  Rbt::validate(root);
+}
+
+void touches_are_logarithmic() {
+  // Sanity on the step model the paper charges for GC: an operation on an
+  // n-key tree touches O(log n) nodes, not O(n).
+  Rbt::Ptr root = Rbt::empty();
+  constexpr uint64_t kN = 4096;
+  for (uint64_t k = 0; k < kN; ++k) root = Rbt::insert(root, k, k);
+  uint64_t t0 = wfq::pbt::tls_rbt_touches();
+  (void)Rbt::find(root, kN / 2);
+  uint64_t find_cost = wfq::pbt::tls_rbt_touches() - t0;
+  CHECK(find_cost >= 1 && find_cost <= 2 * 13);  // 2*lg(4096)+slack
+
+  t0 = wfq::pbt::tls_rbt_touches();
+  root = Rbt::insert(root, kN + 1, 0);
+  uint64_t ins_cost = wfq::pbt::tls_rbt_touches() - t0;
+  CHECK(ins_cost >= 1 && ins_cost <= 8 * 13);  // visit+copy per level
+}
+
+}  // namespace
+
+int main() {
+  randomized_against_map(/*seed=*/0x5eed1, /*ops=*/4000, /*key_range=*/256);
+  randomized_against_map(/*seed=*/0x5eed2, /*ops=*/4000, /*key_range=*/32);
+  randomized_against_map(/*seed=*/0x5eed3, /*ops=*/1500,
+                         /*key_range=*/1'000'000);
+  erase_absent_is_noop();
+  touches_are_logarithmic();
+  return wfq::test::exit_code();
+}
