@@ -97,7 +97,7 @@ api::Report run(const api::RunOptions& opts) {
     std::vector<double> qs, ys;
     double rbt_total = 0;
     for (int per : {8, 32, 128, 512}) {
-      Queue q(4, /*gc_period=*/32);
+      Queue q(4, gc);
       Amortized a = amortized(q, 4, per, mixed_ops, adversary);
       double total_q = 4.0 * per;
       sec.row(static_cast<int>(total_q), api::cell(a.steps_per_op),

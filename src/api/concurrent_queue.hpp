@@ -73,6 +73,11 @@ class AnyQueue {
 
   /// Block-space snapshot (uncounted debug surface); `known == false` when
   /// the wrapped implementation exposes no space introspection.
+  ///
+  /// Quiescent-only: call when no enqueue/dequeue is in flight (e.g. after
+  /// worker threads join or between measurement rounds). The bounded
+  /// queue's snapshot reads the current archive version without an epoch
+  /// pin, so a concurrent GC phase could retire it mid-read.
   SpaceStats space_stats() const { return impl_->space_stats(); }
 
   /// Registry name the handle was created under ("" if default-constructed).

@@ -12,9 +12,11 @@
 //    the mutable block array, sized by the GC window ~ G). Blocks in
 //    [af, k) are copied into a path-copying persistent red-black tree
 //    (pbt/persistent_rbt.hpp) keyed by (node id, block index); blocks below
-//    af are discarded. Truncated array slots are nulled and the Block
-//    objects retired into an epoch-based-reclamation layer (core/ebr.hpp)
-//    so a concurrent reader holding a raw pointer never sees freed memory.
+//    af are discarded. Truncated array slots are tombstoned — never reset
+//    to null, so a stalled refresher's install CAS cannot resurrect a stale
+//    block into a collected index — and the Block objects are retired into
+//    an epoch-based-reclamation layer (core/ebr.hpp) so a concurrent reader
+//    holding a raw pointer never sees freed memory.
 //  - Readers route every historical block access through load_block(): an
 //    index under the node's floor falls back to a lookup in the current
 //    archive version. Archive versions are immutable RBT snapshots swapped
@@ -23,12 +25,17 @@
 //    version while a GC phase installs the next one.
 //
 // Liveness reasoning for the archive floor (what makes discarding safe):
-// every operation publishes the root index observed at its start. With
+// every operation publishes the root index observed at its start. The
+// collector reads `last` (the root's last block index) *before* scanning
+// the start slots, so any op that pins after its slot was scanned
+// publishes a start >= last (the head is monotone). With
 // m = min(active starts, root last) the oldest enqueue any in-flight or
 // future dequeue can be assigned is front(m-1) = sumenq(m-1)-size(m-1)+1,
 // so retaining root blocks >= min(block of front(m-1), m) - 2 — and, per
-// child, everything from the end-pointers of the parent's retained
-// boundary block — covers every value-bearing load. Searches (superblock
+// child, everything from the end-pointers of the block PRECEDING the
+// parent's archive floor (readers consume parent blocks in pairs (j-1, j),
+// so the pair at the floor itself spans child blocks from the end-pointers
+// of floor - 1) — covers every value-bearing load. Searches (superblock
 // gallop, Lemma-20 doubling) may *probe* below the floor; a discarded
 // probe answers with a sentinel whose monotone fields (-1) steer the
 // search back up, which is safe because all three search predicates are
@@ -146,6 +153,8 @@ class BoundedQueue {
 
   /// Reachable blocks: in-array live suffixes plus archived RBT entries.
   /// Theorem 31: plateaus as ops grow (the unbounded queue's grows ~ ops).
+  /// Quiescent-only: peeks the archive without an epoch pin, so a GC phase
+  /// running concurrently could retire the version mid-read.
   size_t debug_live_blocks() const {
     size_t total = 0;
     count_live(root_, total);
@@ -177,7 +186,7 @@ class BoundedQueue {
 
   /// Append-only block array with geometric segments (same scheme as the
   /// unbounded queue's), plus `take` for GC truncation: slots below a
-  /// node's floor are nulled and their blocks handed to EBR.
+  /// node's floor are tombstoned and their blocks handed to EBR.
   class BlockArray {
    public:
     BlockArray() = default;
@@ -189,21 +198,35 @@ class BoundedQueue {
         Slot* seg = segs_[k].load(std::memory_order_acquire);
         if (!seg) continue;
         int64_t n = int64_t{1} << (k + kBaseBits);
-        for (int64_t j = 0; j < n; ++j) delete seg[j].unsafe_peek();
+        for (int64_t j = 0; j < n; ++j) {
+          Block* b = seg[j].unsafe_peek();
+          if (b != tombstone()) delete b;
+        }
         delete[] seg;
       }
+    }
+
+    /// Reserved marker stored into truncated slots. Slots go null -> block
+    /// -> tombstone and never back: if take() nulled the slot instead, a
+    /// refresher that built its block long ago and stalled before its
+    /// install CAS (which expects null) could resurrect a STALE block into
+    /// a truncated index (ABA), and readers still holding the old floor
+    /// would read wrong sums through it.
+    static Block* tombstone() {
+      static Block t;
+      return &t;
     }
 
     Block* load(int64_t i) const { return slot(i).load(); }
     void store(int64_t i, Block* b) { slot(i).store(b); }
     bool cas(int64_t i, Block* b) { return slot(i).cas(nullptr, b); }
 
-    /// GC truncation: detaches and returns the block at `i` (slot becomes
-    /// null; the caller retires the block through EBR).
+    /// GC truncation: detaches and returns the block at `i` (the slot
+    /// becomes a tombstone; the caller retires the block through EBR).
     Block* take(int64_t i) {
       Slot& s = slot(i);
       Block* b = s.load();
-      s.store(nullptr);
+      s.store(tombstone());
       return b;
     }
 
@@ -339,8 +362,13 @@ class BoundedQueue {
   // --- block access with archive fallback ----------------------------------
 
   static uint64_t key_of(const Node* v, int64_t i) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(v->id)) << 44) |
-           static_cast<uint64_t>(i);
+    // Low 44 bits hold the block index (~17T per node before overflow);
+    // masking keeps an out-of-range index from aliasing another node's keys.
+    constexpr uint64_t kIndexBits = 44;
+    constexpr uint64_t kIndexMask = (uint64_t{1} << kIndexBits) - 1;
+    assert(i >= 0 && static_cast<uint64_t>(i) <= kIndexMask);
+    return (static_cast<uint64_t>(static_cast<uint32_t>(v->id)) << kIndexBits) |
+           (static_cast<uint64_t>(i) & kIndexMask);
   }
 
   /// Sentinel for probes into discarded history: its monotone fields read
@@ -358,7 +386,7 @@ class BoundedQueue {
 
   const Block* archived(const Node* v, int64_t i) const {
     const ArchiveVersion* av = archive_.load();
-    if (av != nullptr) {
+    if (i >= 0 && av != nullptr) {
       const Block* b = Rbt::find(av->root, key_of(v, i));
       if (b != nullptr) return b;
     }
@@ -372,9 +400,11 @@ class BoundedQueue {
     if (i == 0) return v->blocks.load(0);  // sentinel is never truncated
     if (i < v->floor.load()) return archived(v, i);
     const Block* b = v->blocks.load(i);
+    if (b == BlockArray::tombstone()) return archived(v, i);
     if (b != nullptr) return b;
     // Lost a race with a GC truncation: the floor store precedes the slot
-    // null, so re-reading the floor disambiguates truncated vs unfilled.
+    // tombstone, so re-reading the floor disambiguates truncated vs
+    // genuinely unfilled frontier slots.
     if (i < v->floor.load()) return archived(v, i);
     return nullptr;
   }
@@ -589,6 +619,14 @@ class BoundedQueue {
 
   void collect() {
     // 1. Retention scan: the oldest root index any in-flight op observed.
+    // `last` MUST be read before the start slots are scanned: an op whose
+    // slot was idle when scanned can pin afterwards, and the root head is
+    // monotone, so the start it then publishes is >= this `last` and its
+    // reads are covered by m <= last. Reading `last` after the scan would
+    // let such an op publish a start below a later head — the floor
+    // min(be, m) - 2 could then discard blocks its find_response /
+    // index_dequeue still needs.
+    int64_t last = last_block_index(root_);
     int64_t m = kStartNone;
     bool pending = false;
     for (int i = 0; i < p_; ++i) {
@@ -599,7 +637,6 @@ class BoundedQueue {
         m = std::min(m, s);
       }
     }
-    int64_t last = last_block_index(root_);
     m = std::min(m, last);
     if (m < 1) m = 1;
 
@@ -696,10 +733,16 @@ class BoundedQueue {
         std::clamp<int64_t>(std::max(v->kfloor, k_in), af_new, lastv);
     out.push_back({v, af_new, k_new});
     if (!v->is_leaf) {
-      // Boundary blocks are retained (af_new >= the old floor), so their
-      // end pointers are readable and seed the children's floors: a child
-      // keeps everything merged into any retained parent block.
-      const Block* baf = load_block(v, af_new);
+      // Readers retained at this node use block PAIRS (j-1, j) for
+      // j >= af_new, and the pair (af_new - 1, af_new) spans child blocks
+      // starting just past end*(af_new - 1) — so the children's floors must
+      // be seeded from the end pointers of block af_new - 1, not af_new
+      // (seeding from af_new discards child blocks that pair still needs).
+      // When af_new did not move this round, block af_new - 1 was discarded
+      // by the round that set it; the sentinel's -1 endpoints then leave
+      // the children's floors unchanged, which is exactly right because
+      // that earlier round already seeded them from this pair.
+      const Block* baf = load_block(v, af_new - 1);
       const Block* bk = load_block(v, std::max(k_new - 1, af_new));
       plan_node(v->left, baf->endleft, bk->endleft, out);
       plan_node(v->right, baf->endright, bk->endright, out);

@@ -17,6 +17,7 @@
 #include <set>
 #include <vector>
 
+#include "core/bounded_queue.hpp"
 #include "core/unbounded_queue.hpp"
 #include "platform/platform.hpp"
 #include "sim/scheduler.hpp"
@@ -25,6 +26,7 @@
 namespace {
 
 using Queue = wfq::core::UnboundedQueue<uint64_t, wfq::platform::SimPlatform>;
+using BQueue = wfq::core::BoundedQueue<uint64_t, wfq::platform::SimPlatform>;
 
 void spsc_exact_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
   constexpr int kN = 60;       // values produced
@@ -104,6 +106,108 @@ void mpmc_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
   CHECK_EQ(dequeued.size(), enqueued.size());
 }
 
+/// Adversary for the GC retention regression below: runs one process for a
+/// burst of up to kMaxBurst consecutive shared steps before re-drawing, so
+/// both halves of the race window occur — a collector stalled mid-scan
+/// while churners complete whole operations, and an op stalled between its
+/// slot being scanned and its start publication. Uniform random switching
+/// almost never holds a process long enough for the root head to drift
+/// past the floor's -2 slack; bursts routinely do.
+class BurstPolicy : public wfq::sim::SchedulingPolicy {
+ public:
+  explicit BurstPolicy(uint64_t seed) : state_(seed * 2 + 1) {}
+  int pick(const std::vector<char>& runnable, uint64_t /*step*/) override {
+    int n = static_cast<int>(runnable.size());
+    if (left_ == 0 || cur_ < 0 || !runnable[static_cast<size_t>(cur_)]) {
+      for (int tries = 0; tries < 64; ++tries) {
+        int c = static_cast<int>(next() % static_cast<uint64_t>(n));
+        if (runnable[static_cast<size_t>(c)]) {
+          cur_ = c;
+          break;
+        }
+      }
+      if (cur_ < 0 || !runnable[static_cast<size_t>(cur_)]) {
+        for (int c = 0; c < n; ++c)
+          if (runnable[static_cast<size_t>(c)]) cur_ = c;
+      }
+      left_ = 1 + static_cast<int>(next() % kMaxBurst);
+    }
+    --left_;
+    return cur_;
+  }
+
+ private:
+  static constexpr uint64_t kMaxBurst = 96;
+  uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  uint64_t state_;
+  int cur_ = -1;
+  int left_ = 0;
+};
+
+/// Regression for the GC retention race: collect() must read the root's
+/// last block index BEFORE scanning the per-process start slots. If it is
+/// read after, an op whose slot was scanned while idle can pin mid-scan and
+/// publish a start below the later-read `last`; the archive floor then
+/// discards blocks that op's find_response/index_dequeue still needs, and
+/// its doubling search converges on the wrong block (wrong element / lost
+/// value). G=2 keeps a collection in flight almost constantly and the
+/// enqueue/dequeue-pair workload holds the queue near-empty, so the floor
+/// chases the head and any retention slip discards a block that is still
+/// value-bearing. Swept over many burst schedules plus lock-step.
+void bounded_gc_retention(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
+  constexpr int kProcs = 8;
+  constexpr int kRounds = 24;
+  BQueue q(kProcs, /*gc_period=*/2);
+  std::vector<std::vector<uint64_t>> got(kProcs);
+  wfq::sim::Scheduler sched(std::move(policy));
+  std::vector<std::function<void()>> bodies;
+  for (int pid = 0; pid < kProcs; ++pid) {
+    bodies.emplace_back([&q, &got, pid] {
+      q.bind_thread(pid);
+      for (int k = 0; k < kRounds; ++k) {
+        q.enqueue((static_cast<uint64_t>(pid) << 32) |
+                  static_cast<uint64_t>(k));
+        auto r = q.dequeue();
+        if (r.has_value()) got[static_cast<size_t>(pid)].push_back(*r);
+      }
+    });
+  }
+  sched.run(std::move(bodies));
+
+  std::set<uint64_t> enqueued;
+  for (int pid = 0; pid < kProcs; ++pid)
+    for (int k = 0; k < kRounds; ++k)
+      enqueued.insert((static_cast<uint64_t>(pid) << 32) |
+                      static_cast<uint64_t>(k));
+
+  std::set<uint64_t> dequeued;
+  for (const auto& list : got) {
+    std::map<uint64_t, int64_t> last_seq;
+    for (uint64_t v : list) {
+      CHECK(enqueued.count(v) == 1);
+      CHECK(dequeued.insert(v).second);  // no duplicates across consumers
+      uint64_t producer = v >> 32;
+      auto seq = static_cast<int64_t>(v & 0xffffffffu);
+      auto it = last_seq.find(producer);
+      if (it != last_seq.end()) CHECK(seq > it->second);
+      last_seq[producer] = seq;
+    }
+  }
+  q.bind_thread(0);
+  for (;;) {
+    auto r = q.dequeue();
+    if (!r.has_value()) break;
+    CHECK(dequeued.insert(*r).second);
+  }
+  CHECK_EQ(dequeued.size(), enqueued.size());
+  CHECK(q.debug_gc_phases() > 0);  // the race window actually existed
+}
+
 void empty_always_null() {
   constexpr int kProcs = 4;
   Queue q(kProcs);
@@ -130,5 +234,8 @@ int main() {
   for (uint64_t seed : {7u, 99u, 2026u})
     mpmc_fifo(std::make_unique<wfq::sim::RandomPolicy>(seed));
   empty_always_null();
+  bounded_gc_retention(std::make_unique<wfq::sim::RoundRobinPolicy>());
+  for (uint64_t seed = 1; seed <= 40; ++seed)
+    bounded_gc_retention(std::make_unique<BurstPolicy>(seed));
   return wfq::test::exit_code();
 }
