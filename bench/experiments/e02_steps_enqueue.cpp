@@ -22,7 +22,7 @@ api::Report run(const api::RunOptions& opts) {
   const int64_t ops = opts.ops_or(40);
   const std::string adversary = opts.adversary_or("round-robin");
   const auto procs = opts.procs_or({2, 4, 8, 16, 32, 64});
-  const auto queues = opts.queues_or({"ubq"});
+  const auto queues = api::queue_keys_or(opts.queues, {"ubq"});
   r.preamble = {"E2: enqueue step complexity vs p  (Theorem 22: O(log p))",
                 "    simulator, " + adversary + " adversary, K=" +
                     std::to_string(ops) + " enqueues/process"};

@@ -142,7 +142,7 @@ void run_queue(api::Report& r, const api::RunOptions& opts,
 
 api::Report run(const api::RunOptions& opts) {
   api::Report r = api::make_report("steps_dequeue");
-  const auto queues = opts.queues_or({"ubq"});
+  const auto queues = api::queue_keys_or(opts.queues, {"ubq"});
   for (const std::string& qname : queues)
     run_queue(r, opts, qname, queues.size() > 1);
   return r;

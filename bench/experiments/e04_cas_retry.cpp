@@ -22,7 +22,7 @@ api::Report run(const api::RunOptions& opts) {
   const int64_t ops = opts.ops_or(25);
   const std::string adversary = opts.adversary_or("round-robin");
   const auto procs = opts.procs_or({2, 4, 8, 16, 32, 64});
-  const auto queues = opts.queues_or({"ubq", "msq"});
+  const auto queues = api::queue_keys_or(opts.queues, {"ubq", "msq"});
   r.preamble = {
       "E4: CAS attempts per enqueue vs p  (Proposition 19: ours O(log p);",
       "    MS-queue suffers the CAS retry problem: Theta(p))",

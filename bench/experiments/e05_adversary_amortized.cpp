@@ -63,7 +63,8 @@ api::Report run(const api::RunOptions& opts) {
   const int64_t ops = opts.ops_or(24);
   const std::string adversary = opts.adversary_or("round-robin");
   const auto procs = opts.procs_or({2, 4, 8, 16, 32, 64});
-  const auto queues = opts.queues_or({"ubq", "kpq", "msq", "faaq"});
+  const auto queues =
+      api::queue_keys_or(opts.queues, {"ubq", "kpq", "msq", "faaq"});
   r.preamble = {"E5: amortized steps/op under the " + adversary +
                     " adversary",
                 "    50/50 enqueue-dequeue mix, K=" + std::to_string(ops) +

@@ -30,7 +30,7 @@ api::Report run(const api::RunOptions& opts) {
       gc == 0 ? "bounded" : "bounded:g=" + std::to_string(gc);
   const uint64_t max_pairs = static_cast<uint64_t>(opts.ops_or(32'000));
   const std::vector<std::string> queues =
-      opts.queues_or({"ubq", bounded_key});
+      api::queue_keys_or(opts.queues, {"ubq", bounded_key});
   r.preamble = {
       "E6: live blocks vs operations performed (Theorem 31)",
       "    2 threads, queue size held ~q; pair grid {N/16, N/4, N} with",

@@ -64,7 +64,7 @@ api::Report run(const api::RunOptions& opts) {
   api::Report r = api::make_report("throughput");
   const uint64_t iters = static_cast<uint64_t>(opts.ops_or(20'000));
   const auto thread_counts = opts.procs_or({1, 2, 4});
-  const auto queues = opts.queues_or(api::queue_names());
+  const auto queues = api::queue_keys_or(opts.queues, api::queue_names());
   r.preamble = {
       "E9: wall-clock throughput, enqueue+dequeue pairs (real threads,",
       "    " + std::to_string(iters) + " pairs/thread; all registered "

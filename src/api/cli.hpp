@@ -58,10 +58,12 @@ inline void print_usage(std::ostream& os) {
         "2,4,8\n"
         "  --ops <n>               override operations per process\n"
         "  --adversary <spec>      round-robin | random[:<seed>] | anti-faa\n"
+        "                          | stall-refresh\n"
         "  --seed <n>              seed used by '--adversary random' when no\n"
         "                          explicit :<seed> is given (default 1)\n"
-        "  --queues <csv>          override the queue set, by registry name\n"
-        "                          (bounded takes a parameter: bounded:g=<G>)\n"
+        "  --queues <csv>          override the object set, by registry name\n"
+        "                          (bounded takes a parameter: bounded:g=<G>;\n"
+        "                          E11 reads vector keys from this flag)\n"
         "  --gc <G>                bounded-queue GC period for experiments\n"
         "                          that take one (E6, E7; E8 sweeps its own\n"
         "                          grid): 0 = paper default, -1 = disabled\n"
@@ -71,6 +73,9 @@ inline void print_usage(std::ostream& os) {
         "\n"
         "registered queues:";
   for (const QueueInfo& e : queue_registry())
+    os << " " << e.name;
+  os << "\nregistered vectors:";
+  for (const QueueInfo& e : vector_registry())
     os << " " << e.name;
   os << "\nregistered adversaries:";
   for (const std::string& n : sim::policy_names()) os << " " << n;
@@ -137,7 +142,7 @@ inline int run_main(int argc, char** argv) {
       } else if (a == "--queues") {
         opts.queues = detail::split_csv(need_value(i, a));
         for (const std::string& q : opts.queues)
-          (void)queue_info(q);  // validate names early
+          (void)object_info(q);  // validate names early (queue or vector)
       } else if (a == "--format") {
         std::string f = need_value(i, a);
         if (f == "table")

@@ -38,7 +38,8 @@ struct RunOptions {
 
   std::vector<int> procs;           // --procs 2,4,8
   int64_t ops = 0;                  // --ops N (per process)
-  std::string adversary;            // --adversary round-robin|random:<s>|anti-faa
+  std::string adversary;            // --adversary round-robin|random:<s>|
+                                    //   anti-faa|stall-refresh
   uint64_t seed = 1;                // --seed; the CLI folds it into
                                     // "--adversary random" => "random:<seed>"
   std::vector<std::string> queues;  // --queues ubq,msq
@@ -53,9 +54,9 @@ struct RunOptions {
   std::string adversary_or(std::string def) const {
     return adversary.empty() ? std::move(def) : adversary;
   }
-  std::vector<std::string> queues_or(std::vector<std::string> def) const {
-    return queues.empty() ? std::move(def) : queues;
-  }
+  // --queues carries keys of either object kind; experiments filter it with
+  // api::queue_keys_or / api::vector_keys_or (queue_registry.hpp) instead of
+  // a kind-oblivious accessor, so mixed keys never abort a sweep mid-run.
   int64_t gc_or(int64_t def) const { return gc == kGcUnset ? def : gc; }
 };
 

@@ -68,7 +68,7 @@ OpSamples run_sim(int procs, std::unique_ptr<sim::SchedulingPolicy> policy,
 }
 
 /// Adversary selected by spec string ("round-robin", "random:<seed>",
-/// "anti-faa" — see sim::make_policy).
+/// "anti-faa", "stall-refresh" — see sim::make_policy).
 template <typename Body>
 OpSamples run_sim(int procs, const std::string& adversary, Body&& body,
                   uint64_t max_steps = 200'000'000) {

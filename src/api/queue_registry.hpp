@@ -1,8 +1,9 @@
-// String-keyed factory registry for every queue implementation in the repo
-// (ISSUE 3 tentpole, part 2): `api::make_queue<T>("ubq", cfg)` builds any of
-// the seven queues on either platform backend, so experiment sweeps, the
-// bench_runner `--queues` flag and the conformance tests enumerate
-// implementations by name instead of by #include. Adding a queue variant
+// String-keyed factory registry for every concurrent object in the repo —
+// object-kind-aware since ISSUE 5: `api::make_queue<T>("ubq", cfg)` builds
+// any of the seven queues, `api::make_vector<T>("wfvec", cfg)` either
+// registered vector, each on either platform backend, so experiment sweeps,
+// the bench_runner `--queues` flag and the conformance tests enumerate
+// implementations by name instead of by #include. Adding an object variant
 // means adding one entry here — no bench or test code changes.
 #pragma once
 
@@ -14,12 +15,15 @@
 #include <vector>
 
 #include "api/concurrent_queue.hpp"
+#include "api/concurrent_vector.hpp"
 #include "baselines/faa_queue.hpp"
+#include "baselines/faa_vector.hpp"
 #include "baselines/kp_queue.hpp"
 #include "baselines/lock_queues.hpp"
 #include "baselines/ms_queue.hpp"
 #include "core/bounded_queue.hpp"
 #include "core/unbounded_queue.hpp"
+#include "core/wait_free_vector.hpp"
 #include "platform/platform.hpp"
 
 namespace wfq::api {
@@ -172,6 +176,17 @@ AnyQueue<T> make_on_backend(const char* name, Backend backend,
       name, std::forward<Args>(args)...);
 }
 
+/// Vector sibling of make_on_backend.
+template <template <typename, typename> class V, typename T, typename... Args>
+AnyVector<T> make_vec_on_backend(const char* name, Backend backend,
+                                 Args&&... args) {
+  if (backend == Backend::sim)
+    return AnyVector<T>::template of<V<T, platform::SimPlatform>>(
+        name, std::forward<Args>(args)...);
+  return AnyVector<T>::template of<V<T, platform::RealPlatform>>(
+      name, std::forward<Args>(args)...);
+}
+
 }  // namespace detail
 
 /// Builds a fresh queue by registry name; throws std::invalid_argument on
@@ -208,6 +223,108 @@ AnyQueue<T> make_queue(const std::string& name, const QueueConfig& cfg) {
   throw std::logic_error("api::make_queue: queue \"" + name +
                          "\" is registered but has no factory entry; add it "
                          "to the make_queue chain in queue_registry.hpp");
+}
+
+// --- the vector side of the registry (ISSUE 5) -----------------------------
+// Vectors reuse QueueConfig (procs/backend/capacity apply; gc_period is
+// queue-only) and QueueInfo's metadata shape, so sweeps written against the
+// queue half port over unchanged.
+
+/// Registered vector metadata, in canonical registry order.
+inline const std::vector<QueueInfo>& vector_registry() {
+  static const std::vector<QueueInfo> entries = {
+      {"wfvec",
+       "wait-free ordering-tree vector (Section 7: O(log p) append, "
+       "O(log^2 p + log n) get)",
+       true},
+      {"faavec",
+       "flat fetch&add cell-array vector (O(1) baseline; fixed capacity "
+       "from cfg.capacity)",
+       true},
+  };
+  return entries;
+}
+
+/// All registered vector names, in registry order.
+inline std::vector<std::string> vector_names() {
+  std::vector<std::string> names;
+  for (const QueueInfo& e : vector_registry()) names.push_back(e.name);
+  return names;
+}
+
+/// Metadata for one registered vector; throws on unknown names.
+inline const QueueInfo& vector_info(const std::string& name) {
+  for (const QueueInfo& e : vector_registry())
+    if (e.name == name) return e;
+  std::string names;
+  for (const QueueInfo& e : vector_registry()) names += " " + e.name;
+  throw std::invalid_argument("api::vector_info: unknown vector \"" + name +
+                              "\"; known:" + names);
+}
+
+/// Metadata for a registered object of either kind — queue (parameterized
+/// bounded keys included) or vector. This is what kind-agnostic surfaces
+/// (the CLI's --queues validation) resolve against; malformed bounded keys
+/// keep their loud queue-side errors, and a name matching neither kind
+/// throws with both known-name lists.
+inline const QueueInfo& object_info(const std::string& name) {
+  std::string base = name;
+  if (parse_bounded_key(name).has_value()) base = "bounded";
+  for (const QueueInfo& e : queue_registry())
+    if (e.name == base) return e;
+  for (const QueueInfo& e : vector_registry())
+    if (e.name == name) return e;
+  std::string names;
+  for (const QueueInfo& e : queue_registry()) names += " " + e.name;
+  std::string vnames;
+  for (const QueueInfo& e : vector_registry()) vnames += " " + e.name;
+  throw std::invalid_argument("api::object_info: unknown object \"" + name +
+                              "\"; known queues:" + names +
+                              " (bounded takes :g=<G>); known vectors:" +
+                              vnames);
+}
+
+/// The shared --queues flag carries registry keys of EITHER object kind.
+/// An experiment that sweeps one kind picks out its own keys with these and
+/// falls back to its historical default when none of the requested keys
+/// match — so `-e all --queues ubq` runs the queue experiments on ubq while
+/// E11 keeps its full vector sweep, and `--queues wfvec` narrows E11
+/// without blowing up the queue experiments mid-run.
+inline std::vector<std::string> queue_keys_or(
+    const std::vector<std::string>& keys, std::vector<std::string> def) {
+  std::vector<std::string> out;
+  for (const std::string& k : keys) {
+    bool is_queue = parse_bounded_key(k).has_value();
+    for (const QueueInfo& e : queue_registry()) is_queue |= (e.name == k);
+    if (is_queue) out.push_back(k);
+  }
+  return out.empty() ? std::move(def) : out;
+}
+
+inline std::vector<std::string> vector_keys_or(
+    const std::vector<std::string>& keys, std::vector<std::string> def) {
+  std::vector<std::string> out;
+  for (const std::string& k : keys)
+    for (const QueueInfo& e : vector_registry())
+      if (e.name == k) out.push_back(k);
+  return out.empty() ? std::move(def) : out;
+}
+
+/// Builds a fresh vector by registry name; throws std::invalid_argument on
+/// unknown names. The flat baseline takes its fixed capacity from
+/// cfg.capacity (sized_config applies to it exactly as it does to faaq).
+template <typename T>
+AnyVector<T> make_vector(const std::string& name, const QueueConfig& cfg) {
+  if (name == "wfvec")
+    return detail::make_vec_on_backend<core::WaitFreeVector, T>(
+        "wfvec", cfg.backend, cfg.procs);
+  if (name == "faavec")
+    return detail::make_vec_on_backend<baselines::FaaVector, T>(
+        "faavec", cfg.backend, cfg.procs, cfg.capacity);
+  (void)vector_info(name);
+  throw std::logic_error("api::make_vector: vector \"" + name +
+                         "\" is registered but has no factory entry; add it "
+                         "to the make_vector chain in queue_registry.hpp");
 }
 
 }  // namespace wfq::api

@@ -1,0 +1,67 @@
+// Flat fetch&add cell-array vector — the former core/wait_free_vector.hpp
+// stub, kept as the "faavec" registry baseline now that the real
+// ordering-tree vector (core/wait_free_vector.hpp) has landed. Wait-free
+// and linearizable with O(1) per-op step cost, which is exactly why it is
+// a useful foil for E11: the tree vector pays O(log p) / O(log^2 p + log n)
+// for unbounded growth, while this one burns a fixed capacity.
+//
+// get(i) may return nullopt for i < size() when the appender has claimed
+// the slot but not yet published the value — the flat design's semantic
+// wart; the tree vector has no such window.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace wfq::baselines {
+
+template <typename T, typename Platform = platform::RealPlatform>
+class FaaVector {
+ public:
+  explicit FaaVector(int /*procs*/, size_t capacity = size_t{1} << 16)
+      : cells_(capacity) {}
+
+  void bind_thread(int pid) { platform::bind_thread(pid); }
+
+  /// Appends and returns the index the value landed at.
+  int64_t append(T x) {
+    int64_t slot = len_.fetch_add(1);
+    if (static_cast<size_t>(slot) >= cells_.size()) {
+      std::fprintf(stderr,
+                   "FaaVector: capacity %zu exhausted (slot %lld)\n",
+                   cells_.size(), static_cast<long long>(slot));
+      std::abort();
+    }
+    Cell& c = cells_[static_cast<size_t>(slot)];
+    c.val = std::move(x);
+    c.ready.store(1);
+    return slot;
+  }
+
+  /// Value at index i, or nullopt if i is past the end or the appender has
+  /// claimed the slot but not yet published the value.
+  std::optional<T> get(int64_t i) {
+    if (i < 0 || i >= len_.load()) return std::nullopt;
+    Cell& c = cells_[static_cast<size_t>(i)];
+    if (c.ready.load() == 0) return std::nullopt;
+    return c.val;
+  }
+
+  int64_t size() { return len_.load(); }
+
+ private:
+  struct Cell {
+    typename Platform::template Atomic<uint64_t> ready{0};
+    T val{};
+  };
+
+  typename Platform::template Atomic<int64_t> len_{0};
+  std::vector<Cell> cells_;
+};
+
+}  // namespace wfq::baselines

@@ -1,7 +1,9 @@
 // Bounded-space variant of the wait-free queue (paper Section 6, Theorems
-// 31/32). Same ordering-tree core as core/unbounded_queue.hpp — leaf Append,
-// double-Refresh propagation, IndexDequeue, FindResponse — but every node
-// keeps only a *live suffix* of its block array:
+// 31/32). Thin client of the shared ordering-tree core
+// (core/ordering_tree.hpp) — leaf Append, double-Refresh propagation,
+// IndexDequeue, FindResponse are the one shared implementation — plus the
+// three cooperating layers that keep every node down to a *live suffix* of
+// its block array:
 //
 //  - Every G completed operations (the `gc_period`; 0 selects the paper
 //    default G = p^2 ceil(log2 p), negative disables collection for the E8
@@ -17,12 +19,13 @@
 //    block into a collected index — and the Block objects are retired into
 //    an epoch-based-reclamation layer (core/ebr.hpp) so a concurrent reader
 //    holding a raw pointer never sees freed memory.
-//  - Readers route every historical block access through load_block(): an
-//    index under the node's floor falls back to a lookup in the current
-//    archive version. Archive versions are immutable RBT snapshots swapped
-//    atomically; superseded versions are EBR-retired, which is exactly why
-//    the tree must be persistent — a dequeue may keep reading an old
-//    version while a GC phase installs the next one.
+//  - Readers route every historical block access through the tree's Storage
+//    hook, which lands in load_block() below: an index under the node's
+//    floor falls back to a lookup in the current archive version. Archive
+//    versions are immutable RBT snapshots swapped atomically; superseded
+//    versions are EBR-retired, which is exactly why the tree must be
+//    persistent — a dequeue may keep reading an old version while a GC
+//    phase installs the next one.
 //
 // Liveness reasoning for the archive floor (what makes discarding safe):
 // every operation publishes the root index observed at its start. The
@@ -66,6 +69,7 @@
 #include <vector>
 
 #include "core/ebr.hpp"
+#include "core/ordering_tree.hpp"
 #include "pbt/persistent_rbt.hpp"
 #include "platform/platform.hpp"
 
@@ -75,24 +79,32 @@ template <typename T, typename Platform = platform::RealPlatform>
 class BoundedQueue {
  public:
   using Ebr = core::Ebr<Platform>;
+  using Block = TreeBlock<T>;
+  using Rbt = pbt::PersistentRbt<Block>;
 
-  struct Block {
-    std::optional<T> element;  // leaf enqueue blocks only
-    int64_t sumenq = 0;
-    int64_t sumdeq = 0;
-    int64_t endleft = 0;   // internal nodes only
-    int64_t endright = 0;  // internal nodes only
-    int64_t size = 0;      // root blocks only
-    int64_t super = 0;     // superblock-index hint (non-root blocks)
+  /// The tree's Storage hook: every historical read is floor-, tombstone-
+  /// and archive-aware (the historical-block-load customization point the
+  /// shared core exists for).
+  struct ArchiveStorage {
+    BoundedQueue* q = nullptr;
+    template <typename Node>
+    const Block* load_block(const Node* v, int64_t i) const {
+      return q->load_block(v, i);
+    }
   };
 
-  using Rbt = pbt::PersistentRbt<Block>;
+  using Tree = OrderingTree<T, Platform, ArchiveStorage>;
+  using Node = typename Tree::Node;
+  using BlockArray = typename Tree::BlockArray;
 
   /// gc_period == 0 selects the paper default G = p^2 ceil(log2 p);
   /// gc_period < 0 (canonically -1) disables collection entirely (the E8
   /// ablation baseline: behaves like the unbounded queue).
   explicit BoundedQueue(int procs, int64_t gc_period = 0)
-      : p_(procs < 1 ? 1 : procs), ebr_(p_) {
+      : p_(procs < 1 ? 1 : procs),
+        storage_{this},
+        tree_(p_, storage_),
+        ebr_(p_) {
     if (gc_period < 0) {
       g_ = -1;
     } else if (gc_period == 0) {
@@ -103,19 +115,13 @@ class BoundedQueue {
       g_ = gc_period;
     }
     window_ = std::max<int64_t>(g_ < 0 ? 4 : g_, 4);
-    unsigned width = std::bit_ceil(static_cast<unsigned>(p_));
-    root_ = build_tree(nullptr, width);
-    collect_leaves(root_);
     starts_.reset(new StartSlot[static_cast<size_t>(p_)]);
   }
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  ~BoundedQueue() {
-    delete archive_.unsafe_peek();
-    delete_tree(root_);
-  }
+  ~BoundedQueue() { delete archive_.unsafe_peek(); }
 
   /// Associates the calling thread with leaf `pid` (0-based, < procs).
   void bind_thread(int pid) {
@@ -125,25 +131,21 @@ class BoundedQueue {
 
   void enqueue(T x) {
     int pid = platform::current_pid();
-    Node* leaf = leaves_[static_cast<size_t>(pid)];
     {
       OpGuard guard(this, pid);
-      append_leaf(leaf, std::optional<T>(std::move(x)), /*is_enq=*/true);
-      propagate(leaf->parent);
+      tree_.append(pid, std::optional<T>(std::move(x)), /*is_enq=*/true);
     }
     after_op();
   }
 
   std::optional<T> dequeue() {
     int pid = platform::current_pid();
-    Node* leaf = leaves_[static_cast<size_t>(pid)];
     std::optional<T> out;
     {
       OpGuard guard(this, pid);
-      int64_t b = append_leaf(leaf, std::nullopt, /*is_enq=*/false);
-      propagate(leaf->parent);
-      auto [rb, r] = index_dequeue(leaf, b);
-      out = find_response(rb, r);
+      int64_t b = tree_.append(pid, std::nullopt, /*is_enq=*/false);
+      auto [rb, r] = tree_.index_op(pid, b, /*is_enq=*/false);
+      out = tree_.find_response(rb, r);
     }
     after_op();
     return out;
@@ -156,8 +158,7 @@ class BoundedQueue {
   /// Quiescent-only: peeks the archive without an epoch pin, so a GC phase
   /// running concurrently could retire the version mid-read.
   size_t debug_live_blocks() const {
-    size_t total = 0;
-    count_live(root_, total);
+    size_t total = tree_.debug_live_array_blocks();
     const ArchiveVersion* av = archive_.unsafe_peek();
     if (av != nullptr) total += av->count;
     return total;
@@ -182,149 +183,6 @@ class BoundedQueue {
   int procs() const { return p_; }
 
  private:
-  // --- tree ----------------------------------------------------------------
-
-  /// Append-only block array with geometric segments (same scheme as the
-  /// unbounded queue's), plus `take` for GC truncation: slots below a
-  /// node's floor are tombstoned and their blocks handed to EBR.
-  class BlockArray {
-   public:
-    BlockArray() = default;
-    BlockArray(const BlockArray&) = delete;
-    BlockArray& operator=(const BlockArray&) = delete;
-
-    ~BlockArray() {
-      for (int k = 0; k < kSegments; ++k) {
-        Slot* seg = segs_[k].load(std::memory_order_acquire);
-        if (!seg) continue;
-        int64_t n = int64_t{1} << (k + kBaseBits);
-        for (int64_t j = 0; j < n; ++j) {
-          Block* b = seg[j].unsafe_peek();
-          if (b != tombstone()) delete b;
-        }
-        delete[] seg;
-      }
-    }
-
-    /// Reserved marker stored into truncated slots. Slots go null -> block
-    /// -> tombstone and never back: if take() nulled the slot instead, a
-    /// refresher that built its block long ago and stalled before its
-    /// install CAS (which expects null) could resurrect a STALE block into
-    /// a truncated index (ABA), and readers still holding the old floor
-    /// would read wrong sums through it.
-    static Block* tombstone() {
-      static Block t;
-      return &t;
-    }
-
-    Block* load(int64_t i) const { return slot(i).load(); }
-    void store(int64_t i, Block* b) { slot(i).store(b); }
-    bool cas(int64_t i, Block* b) { return slot(i).cas(nullptr, b); }
-
-    /// GC truncation: detaches and returns the block at `i` (the slot
-    /// becomes a tombstone; the caller retires the block through EBR).
-    Block* take(int64_t i) {
-      Slot& s = slot(i);
-      Block* b = s.load();
-      s.store(tombstone());
-      return b;
-    }
-
-    Block* unsafe_peek(int64_t i) const { return slot(i).unsafe_peek(); }
-    void unsafe_install(int64_t i, Block* b) { slot(i).unsafe_store(b); }
-
-   private:
-    using Slot = typename Platform::template Atomic<Block*>;
-    static constexpr int kBaseBits = 6;
-    static constexpr int kSegments = 42;
-
-    Slot& slot(int64_t i) const {
-      uint64_t base = static_cast<uint64_t>(i) + (uint64_t{1} << kBaseBits);
-      int k = std::bit_width(base) - 1 - kBaseBits;
-      int64_t off =
-          static_cast<int64_t>(base - (uint64_t{1} << (k + kBaseBits)));
-      return segment(k)[off];
-    }
-
-    Slot* segment(int k) const {
-      Slot* seg = segs_[k].load(std::memory_order_acquire);
-      if (seg) return seg;
-      int64_t n = int64_t{1} << (k + kBaseBits);
-      Slot* fresh = new Slot[static_cast<size_t>(n)]();
-      Slot* expected = nullptr;
-      if (segs_[k].compare_exchange_strong(expected, fresh,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_acquire)) {
-        return fresh;
-      }
-      delete[] fresh;
-      return expected;
-    }
-
-    mutable std::atomic<Slot*> segs_[kSegments] = {};
-  };
-
-  struct Node {
-    Node* parent = nullptr;
-    Node* left = nullptr;
-    Node* right = nullptr;
-    bool is_leaf = false;
-    bool is_root = false;
-    int leaf_pid = -1;
-    int id = 0;  // archive key prefix
-    typename Platform::template Atomic<int64_t> head{1};
-    /// Lowest index still present in the array; indices in [1, floor) have
-    /// been truncated (archive or discarded). Raised (release) before the
-    /// slots are nulled, so a null slot under the floor is unambiguous.
-    typename Platform::template Atomic<int64_t> floor{1};
-    BlockArray blocks;
-    // Collector-only mirrors (guarded by the gc lock, never read by ops):
-    int64_t af = 1;      // archive floor: lowest index kept anywhere
-    int64_t kfloor = 1;  // mirror of `floor` without counted loads
-  };
-
-  Node* build_tree(Node* parent, unsigned width) {
-    Node* n = new Node;
-    n->parent = parent;
-    n->is_root = (parent == nullptr);
-    n->id = next_id_++;
-    n->blocks.unsafe_install(0, new Block{});  // sentinel: all fields zero
-    if (width == 1) {
-      n->is_leaf = true;
-    } else {
-      n->left = build_tree(n, width / 2);
-      n->right = build_tree(n, width / 2);
-    }
-    return n;
-  }
-
-  void collect_leaves(Node* n) {
-    if (n->is_leaf) {
-      n->leaf_pid = static_cast<int>(leaves_.size());
-      leaves_.push_back(n);
-      return;
-    }
-    collect_leaves(n->left);
-    collect_leaves(n->right);
-  }
-
-  void delete_tree(Node* n) {
-    if (!n) return;
-    delete_tree(n->left);
-    delete_tree(n->right);
-    delete n;
-  }
-
-  void count_live(const Node* n, size_t& total) const {
-    if (!n) return;
-    int64_t h = n->head.unsafe_peek();
-    if (n->blocks.unsafe_peek(h) != nullptr) ++h;
-    int64_t fl = std::max<int64_t>(n->floor.unsafe_peek(), 1);
-    if (h > fl) total += static_cast<size_t>(h - fl);
-    count_live(n->left, total);
-    count_live(n->right, total);
-  }
-
   // --- operation prologue/epilogue (EBR pin + start publication) -----------
 
   static constexpr int64_t kStartNone = INT64_MAX;
@@ -345,7 +203,7 @@ class BoundedQueue {
       q->ebr_.pin(pid);
       auto& s = q->starts_[static_cast<size_t>(pid)].v;
       s.store(kStartPending);
-      s.store(q->root_->head.load());
+      s.store(q->tree_.root()->head.load());
     }
     ~OpGuard() {
       q->starts_[static_cast<size_t>(pid)].v.store(kStartNone);
@@ -393,9 +251,10 @@ class BoundedQueue {
     return &discarded_block();
   }
 
-  /// Every historical block read goes through here: array first, archive
-  /// under the floor. Returns nullptr only for genuinely unfilled frontier
-  /// slots (the head-helping paths read the array directly instead).
+  /// Every historical block read goes through here (via ArchiveStorage):
+  /// array first, archive under the floor. Returns nullptr only for
+  /// genuinely unfilled frontier slots (the tree's head-helping paths read
+  /// the array directly instead).
   const Block* load_block(const Node* v, int64_t i) const {
     if (i == 0) return v->blocks.load(0);  // sentinel is never truncated
     if (i < v->floor.load()) return archived(v, i);
@@ -407,194 +266,6 @@ class BoundedQueue {
     // genuinely unfilled frontier slots.
     if (i < v->floor.load()) return archived(v, i);
     return nullptr;
-  }
-
-  // --- append & propagation (as the unbounded queue, floor-aware loads) ----
-
-  int64_t append_leaf(Node* leaf, std::optional<T> elem, bool is_enq) {
-    int64_t h = leaf->head.load();
-    const Block* prev = load_block(leaf, h - 1);
-    Block* b = new Block;
-    b->element = std::move(elem);
-    b->sumenq = prev->sumenq + (is_enq ? 1 : 0);
-    b->sumdeq = prev->sumdeq + (is_enq ? 0 : 1);
-    if (leaf->is_root) {
-      b->size = std::max<int64_t>(0, prev->size + (is_enq ? 1 : -1));
-    } else {
-      b->super = leaf->parent->head.load();
-    }
-    leaf->blocks.store(h, b);
-    leaf->head.store(h + 1);
-    return h;
-  }
-
-  int64_t last_block_index(const Node* v) const {
-    int64_t h = v->head.load();
-    if (v->blocks.load(h) != nullptr) return h;
-    return h - 1;
-  }
-
-  void propagate(Node* v) {
-    while (v != nullptr) {
-      if (!refresh(v)) refresh(v);
-      v = v->parent;
-    }
-  }
-
-  bool refresh(Node* v) {
-    int64_t h = v->head.load();
-    while (v->blocks.load(h) != nullptr) {  // stale head: help it forward
-      v->head.cas(h, h + 1);
-      h = v->head.load();
-    }
-    const Block* prev = load_block(v, h - 1);
-    int64_t lend = last_block_index(v->left);
-    int64_t rend = last_block_index(v->right);
-    if (lend == prev->endleft && rend == prev->endright) return true;
-    Block* nb = new Block;
-    nb->endleft = lend;
-    nb->endright = rend;
-    nb->sumenq = load_block(v->left, lend)->sumenq +
-                 load_block(v->right, rend)->sumenq;
-    nb->sumdeq = load_block(v->left, lend)->sumdeq +
-                 load_block(v->right, rend)->sumdeq;
-    if (v->is_root) {
-      int64_t numenq = nb->sumenq - prev->sumenq;
-      int64_t numdeq = nb->sumdeq - prev->sumdeq;
-      nb->size = std::max<int64_t>(0, prev->size + numenq - numdeq);
-    } else {
-      nb->super = v->parent->head.load();
-    }
-    if (v->blocks.cas(h, nb)) {
-      v->head.cas(h, h + 1);
-      return true;
-    }
-    delete nb;
-    v->head.cas(h, h + 1);
-    return false;
-  }
-
-  // --- dequeue path (as the unbounded queue, floor-aware loads) ------------
-
-  std::pair<int64_t, int64_t> index_dequeue(Node* v, int64_t b) {
-    int64_t i = 1;
-    while (!v->is_root) {
-      Node* par = v->parent;
-      bool from_left = (par->left == v);
-      int64_t hint = load_block(v, b)->super;
-      int64_t s = find_superblock(par, from_left, b, hint);
-      const Block* sb = load_block(par, s);
-      const Block* sp = load_block(par, s - 1);
-      int64_t start = from_left ? sp->endleft : sp->endright;
-      i += load_block(v, b - 1)->sumdeq - load_block(v, start)->sumdeq;
-      if (!from_left) {
-        i += load_block(par->left, sb->endleft)->sumdeq -
-             load_block(par->left, sp->endleft)->sumdeq;
-      }
-      v = par;
-      b = s;
-    }
-    return {b, i};
-  }
-
-  int64_t find_superblock(Node* par, bool from_left, int64_t b, int64_t hint) {
-    auto end_of = [&](int64_t s) {
-      const Block* blk = load_block(par, s);
-      return from_left ? blk->endleft : blk->endright;
-    };
-    int64_t last = last_block_index(par);
-    int64_t h0 = std::clamp<int64_t>(hint, 1, last);
-    int64_t lo, hi;  // invariant: end_of(lo) < b <= end_of(hi)
-    if (end_of(h0) >= b) {
-      hi = h0;
-      int64_t step = 1;
-      lo = h0 - step;
-      while (lo > 0 && end_of(lo) >= b) {
-        hi = lo;
-        step <<= 1;
-        lo = h0 - step;
-      }
-      if (lo < 0) lo = 0;
-    } else {
-      lo = h0;
-      int64_t step = 1;
-      hi = h0 + step;
-      while (hi < last && end_of(hi) < b) {
-        lo = hi;
-        step <<= 1;
-        hi = h0 + step;
-      }
-      if (hi > last) hi = last;
-    }
-    while (lo + 1 < hi) {
-      int64_t mid = lo + (hi - lo) / 2;
-      if (end_of(mid) >= b) {
-        hi = mid;
-      } else {
-        lo = mid;
-      }
-    }
-    return hi;
-  }
-
-  std::optional<T> find_response(int64_t b, int64_t r) {
-    const Block* prev = load_block(root_, b - 1);
-    const Block* cur = load_block(root_, b);
-    int64_t numenq = cur->sumenq - prev->sumenq;
-    if (r > prev->size + numenq) return std::nullopt;
-    int64_t e = prev->sumenq - prev->size + r;
-    int64_t hi = b;
-    int64_t step = 1;
-    int64_t lo = std::max<int64_t>(b - step, 0);
-    while (lo > 0 && load_block(root_, lo)->sumenq >= e) {
-      hi = lo;
-      step <<= 1;
-      lo = std::max<int64_t>(b - step, 0);
-    }
-    while (lo + 1 < hi) {
-      int64_t mid = lo + (hi - lo) / 2;
-      if (load_block(root_, mid)->sumenq >= e) {
-        hi = mid;
-      } else {
-        lo = mid;
-      }
-    }
-    int64_t i = e - load_block(root_, hi - 1)->sumenq;
-    return get_enqueue(root_, hi, i);
-  }
-
-  std::optional<T> get_enqueue(Node* v, int64_t b, int64_t i) {
-    while (!v->is_leaf) {
-      const Block* cur = load_block(v, b);
-      const Block* prev = load_block(v, b - 1);
-      Node* child;
-      int64_t lo, hi;
-      int64_t numleft = load_block(v->left, cur->endleft)->sumenq -
-                        load_block(v->left, prev->endleft)->sumenq;
-      if (i <= numleft) {
-        child = v->left;
-        lo = prev->endleft;
-        hi = cur->endleft;
-      } else {
-        child = v->right;
-        lo = prev->endright;
-        hi = cur->endright;
-        i -= numleft;
-      }
-      int64_t target = load_block(child, lo)->sumenq + i;
-      while (lo + 1 < hi) {
-        int64_t mid = lo + (hi - lo) / 2;
-        if (load_block(child, mid)->sumenq >= target) {
-          hi = mid;
-        } else {
-          lo = mid;
-        }
-      }
-      i = target - load_block(child, hi - 1)->sumenq;
-      v = child;
-      b = hi;
-    }
-    return load_block(v, b)->element;
   }
 
   // --- the GC phase --------------------------------------------------------
@@ -618,6 +289,7 @@ class BoundedQueue {
   }
 
   void collect() {
+    Node* root = tree_.root();
     // 1. Retention scan: the oldest root index any in-flight op observed.
     // `last` MUST be read before the start slots are scanned: an op whose
     // slot was idle when scanned can pin afterwards, and the root head is
@@ -626,7 +298,7 @@ class BoundedQueue {
     // let such an op publish a start below a later head — the floor
     // min(be, m) - 2 could then discard blocks its find_response /
     // index_dequeue still needs.
-    int64_t last = last_block_index(root_);
+    int64_t last = tree_.last_block_index(root);
     int64_t m = kStartNone;
     bool pending = false;
     for (int i = 0; i < p_; ++i) {
@@ -644,9 +316,9 @@ class BoundedQueue {
     // any dequeue that started at or after m can be assigned) - slack may
     // ever be read again. A pending publication freezes discarding this
     // round (truncation into the archive is always safe and proceeds).
-    int64_t af_root = root_->af;
+    int64_t af_root = root->af;
     if (!pending) {
-      const Block* bm = load_block(root_, m - 1);
+      const Block* bm = load_block(root, m - 1);
       int64_t e_ret = bm->sumenq - bm->size + 1;
       int64_t be = oldest_root_block_with_sumenq(e_ret, last);
       af_root = std::max(af_root, std::min(be, m) - 2);
@@ -656,7 +328,7 @@ class BoundedQueue {
     // 3. Array floors (the in-array live suffix, sized by the GC window)
     // and per-child floors derived from retained boundary blocks.
     std::vector<Plan> plans;
-    plan_node(root_, af_root, last - window_ + 1, plans);
+    plan_node(root, af_root, last - window_ + 1, plans);
 
     // 4. New archive version: copy [kfloor, k_new) in, drop [af, af_new).
     const ArchiveVersion* old_av = archive_.load();
@@ -682,8 +354,8 @@ class BoundedQueue {
                   +[](void* p) { delete static_cast<ArchiveVersion*>(p); });
     }
 
-    // 5. Truncate the arrays (floor first — release — then null slots) and
-    // retire the detached blocks; then give the epoch a push.
+    // 5. Truncate the arrays (floor first — release — then tombstone slots)
+    // and retire the detached blocks; then give the epoch a push.
     for (const Plan& pl : plans) {
       pl.v->floor.store(pl.k_new);
       for (int64_t i = pl.v->kfloor; i < pl.k_new; ++i) {
@@ -698,13 +370,14 @@ class BoundedQueue {
 
   /// Smallest retained root index whose sumenq reaches e (last+1 if none).
   int64_t oldest_root_block_with_sumenq(int64_t e, int64_t last) const {
-    int64_t lo = root_->af;  // collector-only mirror; lowest readable index
-    if (load_block(root_, lo)->sumenq >= e) return lo;
-    if (load_block(root_, last)->sumenq < e) return last + 1;
+    const Node* root = tree_.root();
+    int64_t lo = root->af;  // collector-only mirror; lowest readable index
+    if (load_block(root, lo)->sumenq >= e) return lo;
+    if (load_block(root, last)->sumenq < e) return last + 1;
     int64_t hi = last;  // invariant: sumenq(lo) < e <= sumenq(hi)
     while (lo + 1 < hi) {
       int64_t mid = lo + (hi - lo) / 2;
-      if (load_block(root_, mid)->sumenq >= e) {
+      if (load_block(root, mid)->sumenq >= e) {
         hi = mid;
       } else {
         lo = mid;
@@ -715,7 +388,7 @@ class BoundedQueue {
 
   void plan_node(Node* v, int64_t af_in, int64_t k_in,
                  std::vector<Plan>& out) {
-    int64_t lastv = last_block_index(v);
+    int64_t lastv = tree_.last_block_index(v);
     if (lastv < 1) {
       // Sentinel-only node (an idle process's leaf, or a subtree whose
       // appends have not propagated here yet): nothing to archive or
@@ -752,11 +425,10 @@ class BoundedQueue {
   // --- members -------------------------------------------------------------
 
   int p_;
-  int64_t g_;        // resolved GC period (-1 = disabled)
-  int64_t window_;   // in-array suffix target per node (~G)
-  int next_id_ = 0;  // node id source during build
-  Node* root_ = nullptr;
-  std::vector<Node*> leaves_;
+  int64_t g_;       // resolved GC period (-1 = disabled)
+  int64_t window_;  // in-array suffix target per node (~G)
+  ArchiveStorage storage_;
+  Tree tree_;
   std::unique_ptr<StartSlot[]> starts_;
   Ebr ebr_;
   typename Platform::template Atomic<int64_t> opcount_{0};

@@ -1,0 +1,599 @@
+// The shared ordering-tree core (ISSUE 5 tentpole): the machinery the
+// paper's queue and its Section-7 extensions have in common, extracted so
+// the unbounded queue, the bounded-space queue and the wait-free vector are
+// thin clients of ONE implementation instead of three diverged copies.
+//
+// Structure: a static tournament ("ordering") tree with one leaf per
+// process. Every node holds an append-only array of immutable Blocks plus a
+// head index. An operation appends a block at its own leaf, then propagates
+// to the root with the double-Refresh idiom: each Refresh tries to CAS one
+// new block into the parent that merges every child block not yet merged.
+// Agreement on the root's block sequence induces the linearization: blocks
+// in index order; within a block, enqueues before dequeues; within each
+// kind, left-subtree operations before right-subtree ones.
+//
+// Blocks carry the paper's "implicit" fields materialized at creation time
+// (each is written once before the block is published, so readers never see
+// partial values):
+//   sumenq/sumdeq — cumulative enqueue/dequeue counts in this node's subtree
+//                   up to and including this block;
+//   endleft/endright — index of the last child block merged (internal nodes);
+//   size — queue size after this block's operations (root only), clamped at 0
+//          so null dequeues do not drive it negative;
+//   super — hint: parent's head index read just before this block was
+//           published; the true superblock index is >= super and within the
+//           append contention of it, so a gallop from the hint costs
+//           O(log contention) (the paper's log-c factor).
+//
+// The Storage customization point. Clients differ ONLY in how historical
+// blocks are read back: the unbounded queue and the vector load the array
+// slot directly; the bounded queue routes indices under a node's GC floor
+// through its persistent-RBT archive (and tombstoned slots likewise). Every
+// historical read inside the tree goes through
+//
+//   storage.load_block(const Node* v, int64_t i) -> const Block*
+//
+// while frontier operations (null-scan at the head, install CAS, head
+// helping) stay direct array accesses — a frontier slot is never truncated,
+// in either client. DirectStorage below is the trivial hook; the bounded
+// queue supplies its floor/tombstone/archive-aware one.
+//
+// Operation surface the clients compose:
+//   append(pid, elem, is_enq)  leaf Append + double-Refresh propagation;
+//   index_op(pid, b, is_enq)   locate the leaf block in the root ordering
+//                              (IndexDequeue generalized to either op kind —
+//                              the vector indexes its appends with the same
+//                              walk a dequeue uses to index itself);
+//   find_response(b, r)        queue dequeue resolution: null-vs-value from
+//                              the root size prefix + Lemma-20 doubling
+//                              search + root-to-leaf descent;
+//   find_enqueue(e)            vector get: index-directed binary search over
+//                              root blocks + the same descent;
+//   enqueue_rank(b, r)         global rank of a located enqueue (the index a
+//                              vector append returns).
+//
+// Hot-path constant factors: each leaf keeps an owner-local cache of its
+// last block's index and cumulative sums (ROADMAP perf item). The leaf is
+// single-writer, so the cache is plain non-atomic state with the same
+// owner-only contract as the leaf array itself; it saves the head load and
+// the previous-block load — two counted shared steps — on every append.
+// (The cache holds VALUES, not the block pointer: under the bounded client
+// a truncated block is eventually freed through EBR, and a pointer cached
+// across operations — outside any epoch pin — could dangle.)
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace wfq::core {
+
+/// Immutable operation/merge block; see the field glossary above.
+template <typename T>
+struct TreeBlock {
+  std::optional<T> element;  // leaf enqueue blocks only
+  int64_t sumenq = 0;
+  int64_t sumdeq = 0;
+  int64_t endleft = 0;   // internal nodes only
+  int64_t endright = 0;  // internal nodes only
+  int64_t size = 0;      // root blocks only
+  int64_t super = 0;     // superblock-index hint (non-root blocks)
+};
+
+/// Append-only unbounded block array: geometrically growing segments
+/// installed on demand with an (uncounted, bookkeeping-only) directory CAS.
+/// Slot accesses go through Platform atomics and count as shared steps.
+/// `take`/`tombstone` exist for the bounded client's GC truncation; clients
+/// without collection simply never call them.
+template <typename T, typename Platform>
+class TreeBlockArray {
+ public:
+  using Block = TreeBlock<T>;
+
+  TreeBlockArray() = default;
+  TreeBlockArray(const TreeBlockArray&) = delete;
+  TreeBlockArray& operator=(const TreeBlockArray&) = delete;
+
+  ~TreeBlockArray() {
+    for (int k = 0; k < kSegments; ++k) {
+      Slot* seg = segs_[k].load(std::memory_order_acquire);
+      if (!seg) continue;
+      int64_t n = int64_t{1} << (k + kBaseBits);
+      for (int64_t j = 0; j < n; ++j) {
+        Block* b = seg[j].unsafe_peek();
+        if (b != tombstone()) delete b;
+      }
+      delete[] seg;
+    }
+  }
+
+  /// Reserved marker stored into truncated slots. Slots go null -> block
+  /// -> tombstone and never back: if take() nulled the slot instead, a
+  /// refresher that built its block long ago and stalled before its
+  /// install CAS (which expects null) could resurrect a STALE block into
+  /// a truncated index (ABA), and readers still holding the old floor
+  /// would read wrong sums through it.
+  static Block* tombstone() {
+    static Block t;
+    return &t;
+  }
+
+  Block* load(int64_t i) const { return slot(i).load(); }
+
+  /// Single-writer publish (leaf appends).
+  void store(int64_t i, Block* b) { slot(i).store(b); }
+
+  /// One CAS attempt to install `b` at slot `i` (internal appends).
+  bool cas(int64_t i, Block* b) { return slot(i).cas(nullptr, b); }
+
+  /// GC truncation: detaches and returns the block at `i` (the slot
+  /// becomes a tombstone; the caller retires the block through EBR).
+  Block* take(int64_t i) {
+    Slot& s = slot(i);
+    Block* b = s.load();
+    s.store(tombstone());
+    return b;
+  }
+
+  /// Uncounted accessors for construction and debug introspection.
+  Block* unsafe_peek(int64_t i) const { return slot(i).unsafe_peek(); }
+  void unsafe_install(int64_t i, Block* b) { slot(i).unsafe_store(b); }
+
+ private:
+  using Slot = typename Platform::template Atomic<Block*>;
+  static constexpr int kBaseBits = 6;  // first segment: 64 slots
+  static constexpr int kSegments = 42;
+
+  Slot& slot(int64_t i) const {
+    uint64_t base = static_cast<uint64_t>(i) + (uint64_t{1} << kBaseBits);
+    int k = std::bit_width(base) - 1 - kBaseBits;
+    int64_t off = static_cast<int64_t>(base - (uint64_t{1} << (k + kBaseBits)));
+    return segment(k)[off];
+  }
+
+  Slot* segment(int k) const {
+    Slot* seg = segs_[k].load(std::memory_order_acquire);
+    if (seg) return seg;
+    int64_t n = int64_t{1} << (k + kBaseBits);
+    Slot* fresh = new Slot[static_cast<size_t>(n)]();
+    Slot* expected = nullptr;
+    if (segs_[k].compare_exchange_strong(expected, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return fresh;
+    }
+    delete[] fresh;
+    return expected;
+  }
+
+  mutable std::atomic<Slot*> segs_[kSegments] = {};
+};
+
+template <typename T, typename Platform>
+struct TreeNode {
+  using Block = TreeBlock<T>;
+
+  TreeNode* parent = nullptr;
+  TreeNode* left = nullptr;
+  TreeNode* right = nullptr;
+  bool is_leaf = false;
+  bool is_root = false;
+  int leaf_pid = -1;
+  int id = 0;  // archive key prefix (bounded client)
+  // Next free block slot; blocks[0] is a zeroed sentinel, so head starts at
+  // 1 and lags the filled frontier by at most one (helpers CAS it forward).
+  typename Platform::template Atomic<int64_t> head{1};
+  /// Lowest index still present in the array; indices in [1, floor) have
+  /// been truncated (archived or discarded). Raised (release) before the
+  /// slots are tombstoned, so a stale slot under the floor is unambiguous.
+  /// Clients without collection leave it at 1 forever.
+  typename Platform::template Atomic<int64_t> floor{1};
+  TreeBlockArray<T, Platform> blocks;
+  // Collector-only mirrors (guarded by the bounded client's gc lock, never
+  // read by operations):
+  int64_t af = 1;      // archive floor: lowest index kept anywhere
+  int64_t kfloor = 1;  // mirror of `floor` without counted loads
+  // Owner-local append cache (leaves only): the index and cumulative sums
+  // of the last block this leaf's owner appended. Same single-writer
+  // contract as the leaf's head/array; lets append_leaf skip the head load
+  // and previous-block load (two counted shared steps per operation).
+  int64_t cache_idx = 0;
+  int64_t cache_sumenq = 0;
+  int64_t cache_sumdeq = 0;
+  int64_t cache_size = 0;  // root-leaf (p == 1) only
+};
+
+/// The trivial Storage hook: every historical read is a direct (counted)
+/// array load. Used by the unbounded queue and the wait-free vector.
+struct DirectStorage {
+  template <typename Node>
+  auto* load_block(const Node* v, int64_t i) const {
+    return v->blocks.load(i);
+  }
+};
+
+template <typename T, typename Platform, typename Storage>
+class OrderingTree {
+ public:
+  using Block = TreeBlock<T>;
+  using Node = TreeNode<T, Platform>;
+  using BlockArray = TreeBlockArray<T, Platform>;
+
+  /// The tree holds a reference to the client's storage policy; the client
+  /// owns it (and any archive state behind it) for the tree's lifetime.
+  OrderingTree(int procs, Storage& storage)
+      : p_(procs < 1 ? 1 : procs), storage_(&storage) {
+    unsigned width = std::bit_ceil(static_cast<unsigned>(p_));
+    root_ = build_tree(nullptr, width);
+    collect_leaves(root_);
+  }
+
+  OrderingTree(const OrderingTree&) = delete;
+  OrderingTree& operator=(const OrderingTree&) = delete;
+
+  ~OrderingTree() { delete_tree(root_); }
+
+  // --- the operation surface ----------------------------------------------
+
+  /// Appends one operation block at pid's (single-writer) leaf and runs the
+  /// double-Refresh propagation to the root; returns the leaf block index.
+  int64_t append(int pid, std::optional<T> elem, bool is_enq) {
+    Node* leaf = leaves_[static_cast<size_t>(pid)];
+    int64_t b = append_leaf(leaf, std::move(elem), is_enq);
+    propagate(leaf->parent);
+    return b;
+  }
+
+  /// Walks the operation appended as pid's leaf block `b` up to the root,
+  /// returning (root block index, rank of this operation among that block's
+  /// operations of the same kind). This is the paper's IndexDequeue,
+  /// generalized over the op kind: a dequeue locates itself among a root
+  /// block's dequeues (`is_enq` false), a vector append among its enqueues.
+  std::pair<int64_t, int64_t> index_op(int pid, int64_t b, bool is_enq) {
+    Node* v = leaves_[static_cast<size_t>(pid)];
+    auto sum = [is_enq](const Block* blk) {
+      return is_enq ? blk->sumenq : blk->sumdeq;
+    };
+    int64_t i = 1;
+    while (!v->is_root) {
+      Node* par = v->parent;
+      bool from_left = (par->left == v);
+      int64_t hint = load(v, b)->super;
+      int64_t s = find_superblock(par, from_left, b, hint);
+      const Block* sb = load(par, s);
+      const Block* sp = load(par, s - 1);
+      int64_t start = from_left ? sp->endleft : sp->endright;
+      // Same-kind ops of this child merged earlier in the same superblock.
+      i += sum(load(v, b - 1)) - sum(load(v, start));
+      if (!from_left) {
+        // Left-child ops of the superblock precede all right-child ones.
+        i += sum(load(par->left, sb->endleft)) -
+             sum(load(par->left, sp->endleft));
+      }
+      v = par;
+      b = s;
+    }
+    return {b, i};
+  }
+
+  /// Resolves the dequeue that is the r-th dequeue of root block `b`: null
+  /// if the queue is empty at its linearization point, otherwise the element
+  /// of the e-th enqueue overall, located with the doubling search
+  /// (Lemma 20) and a root-to-leaf descent.
+  std::optional<T> find_response(int64_t b, int64_t r) {
+    const Block* prev = load(root_, b - 1);
+    const Block* cur = load(root_, b);
+    int64_t numenq = cur->sumenq - prev->sumenq;
+    if (r > prev->size + numenq) return std::nullopt;
+    int64_t e = prev->sumenq - prev->size + r;
+    // Doubling search backward from b for the block with sumenq >= e; its
+    // cost tracks the distance b - b_e, not the total number of root blocks.
+    int64_t hi = b;
+    int64_t step = 1;
+    int64_t lo = std::max<int64_t>(b - step, 0);
+    while (lo > 0 && load(root_, lo)->sumenq >= e) {
+      hi = lo;
+      step <<= 1;
+      lo = std::max<int64_t>(b - step, 0);
+    }
+    while (lo + 1 < hi) {
+      int64_t mid = lo + (hi - lo) / 2;
+      if (load(root_, mid)->sumenq >= e) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    int64_t i = e - load(root_, hi - 1)->sumenq;
+    return get_enqueue(root_, hi, i);
+  }
+
+  /// Element of the e-th enqueue overall (1-based), or nullopt when fewer
+  /// than e enqueues have propagated to the root. The vector's get(i):
+  /// index-directed binary search over the root blocks (root sumenq is
+  /// nondecreasing; O(log #blocks) = O(log n)) followed by the same
+  /// root-to-leaf descent a dequeue uses (O(log p) levels, O(log c) binary
+  /// search per level — the paper's O(log^2 p + log n) get).
+  std::optional<T> find_enqueue(int64_t e) {
+    if (e < 1) return std::nullopt;
+    int64_t last = last_block_index(root_);
+    if (load(root_, last)->sumenq < e) return std::nullopt;
+    int64_t lo = 0, hi = last;  // invariant: sumenq(lo) < e <= sumenq(hi)
+    while (lo + 1 < hi) {
+      int64_t mid = lo + (hi - lo) / 2;
+      if (load(root_, mid)->sumenq >= e) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    int64_t i = e - load(root_, hi - 1)->sumenq;
+    return get_enqueue(root_, hi, i);
+  }
+
+  /// Global 1-based rank of the r-th enqueue of root block `b` (the inverse
+  /// of find_enqueue; what a vector append reports as its landing index).
+  int64_t enqueue_rank(int64_t b, int64_t r) {
+    return load(root_, b - 1)->sumenq + r;
+  }
+
+  /// Total enqueues agreed at the root (the vector's size()).
+  int64_t root_sumenq() {
+    return load(root_, last_block_index(root_))->sumenq;
+  }
+
+  /// Index of the last appended block of `v` (head may lag it by one).
+  /// Frontier reads only — valid under every Storage.
+  int64_t last_block_index(const Node* v) const {
+    int64_t h = v->head.load();
+    if (v->blocks.load(h) != nullptr) return h;
+    return h - 1;
+  }
+
+  // --- structure access (clients: GC walks, debug surfaces) ---------------
+
+  Node* root() { return root_; }
+  const Node* root() const { return root_; }
+  Node* leaf(int pid) { return leaves_[static_cast<size_t>(pid)]; }
+  const Node* leaf(int pid) const { return leaves_[static_cast<size_t>(pid)]; }
+  int procs() const { return p_; }
+
+  /// Number of blocks ever appended across all nodes (excluding sentinels).
+  /// Uncounted; quiescent-only like every debug surface.
+  size_t debug_total_blocks() const {
+    size_t total = 0;
+    count_blocks(root_, /*floor_aware=*/false, total);
+    return total;
+  }
+
+  /// Blocks still present in the arrays (floor-aware live suffixes); equal
+  /// to debug_total_blocks() for clients that never truncate.
+  size_t debug_live_array_blocks() const {
+    size_t total = 0;
+    count_blocks(root_, /*floor_aware=*/true, total);
+    return total;
+  }
+
+ private:
+  // --- tree construction ---------------------------------------------------
+
+  Node* build_tree(Node* parent, unsigned width) {
+    Node* n = new Node;
+    n->parent = parent;
+    n->is_root = (parent == nullptr);
+    n->id = next_id_++;
+    n->blocks.unsafe_install(0, new Block{});  // sentinel: all fields zero
+    if (width == 1) {
+      n->is_leaf = true;
+    } else {
+      n->left = build_tree(n, width / 2);
+      n->right = build_tree(n, width / 2);
+    }
+    return n;
+  }
+
+  void collect_leaves(Node* n) {
+    if (n->is_leaf) {
+      n->leaf_pid = static_cast<int>(leaves_.size());
+      leaves_.push_back(n);
+      return;
+    }
+    collect_leaves(n->left);
+    collect_leaves(n->right);
+  }
+
+  void delete_tree(Node* n) {
+    if (!n) return;
+    delete_tree(n->left);
+    delete_tree(n->right);
+    delete n;
+  }
+
+  void count_blocks(const Node* n, bool floor_aware, size_t& total) const {
+    if (!n) return;
+    int64_t h = n->head.unsafe_peek();
+    if (n->blocks.unsafe_peek(h) != nullptr) ++h;  // head lagging the frontier
+    int64_t lo = floor_aware ? std::max<int64_t>(n->floor.unsafe_peek(), 1) : 1;
+    if (h > lo) total += static_cast<size_t>(h - lo);
+    count_blocks(n->left, floor_aware, total);
+    count_blocks(n->right, floor_aware, total);
+  }
+
+  // --- historical reads go through the client's storage policy -------------
+
+  const Block* load(const Node* v, int64_t i) const {
+    return storage_->load_block(v, i);
+  }
+
+  // --- append & propagation ------------------------------------------------
+
+  /// Appends one operation block at the (single-writer) leaf; returns its
+  /// block index. The previous block's cumulative fields come from the
+  /// owner-local cache — the leaf is single-writer, so the cache is always
+  /// exact — saving the head load and prev-block load on the hot path.
+  int64_t append_leaf(Node* leaf, std::optional<T> elem, bool is_enq) {
+    int64_t h = leaf->cache_idx + 1;
+    Block* b = new Block;
+    b->element = std::move(elem);
+    b->sumenq = leaf->cache_sumenq + (is_enq ? 1 : 0);
+    b->sumdeq = leaf->cache_sumdeq + (is_enq ? 0 : 1);
+    if (leaf->is_root) {
+      b->size =
+          std::max<int64_t>(0, leaf->cache_size + (is_enq ? 1 : -1));
+    } else {
+      b->super = leaf->parent->head.load();  // hint, read before publishing
+    }
+    leaf->blocks.store(h, b);
+    leaf->head.store(h + 1);
+    leaf->cache_idx = h;
+    leaf->cache_sumenq = b->sumenq;
+    leaf->cache_sumdeq = b->sumdeq;
+    leaf->cache_size = b->size;
+    return h;
+  }
+
+  /// After the leaf append, one Refresh pair per ancestor suffices: if both
+  /// calls lose their CAS, the two winning blocks were both created after our
+  /// child block was published, so the second winner merged it (the f-array
+  /// double-refresh argument; each failure below is a genuine CAS loss on a
+  /// slot we saw empty, which is what the argument needs).
+  void propagate(Node* v) {
+    while (v != nullptr) {
+      if (!refresh(v)) refresh(v);
+      v = v->parent;
+    }
+  }
+
+  /// Tries to append one block to internal node `v` merging all child blocks
+  /// not yet merged. True if nothing new to merge or our CAS won.
+  bool refresh(Node* v) {
+    int64_t h = v->head.load();
+    while (v->blocks.load(h) != nullptr) {  // stale head: help it forward
+      v->head.cas(h, h + 1);
+      h = v->head.load();
+    }
+    const Block* prev = load(v, h - 1);
+    int64_t lend = last_block_index(v->left);
+    int64_t rend = last_block_index(v->right);
+    if (lend == prev->endleft && rend == prev->endright) return true;
+    Block* nb = new Block;
+    nb->endleft = lend;
+    nb->endright = rend;
+    nb->sumenq = load(v->left, lend)->sumenq + load(v->right, rend)->sumenq;
+    nb->sumdeq = load(v->left, lend)->sumdeq + load(v->right, rend)->sumdeq;
+    if (v->is_root) {
+      int64_t numenq = nb->sumenq - prev->sumenq;
+      int64_t numdeq = nb->sumdeq - prev->sumdeq;
+      nb->size = std::max<int64_t>(0, prev->size + numenq - numdeq);
+    } else {
+      nb->super = v->parent->head.load();
+    }
+    if (v->blocks.cas(h, nb)) {
+      v->head.cas(h, h + 1);
+      return true;
+    }
+    delete nb;
+    v->head.cas(h, h + 1);  // a winner exists; help advance past it
+    return false;
+  }
+
+  // --- search & descent ----------------------------------------------------
+
+  /// Smallest parent block index s with end{left|right}(s) >= b, i.e. the
+  /// block of `par` that merged child block `b`. Gallops out from the hint
+  /// (end* is nondecreasing in s), then binary-searches the bracket. Probes
+  /// may land below a bounded client's archive floor; the storage policy
+  /// answers those with a monotone sentinel that steers the search back up.
+  int64_t find_superblock(Node* par, bool from_left, int64_t b, int64_t hint) {
+    auto end_of = [&](int64_t s) {
+      const Block* blk = load(par, s);
+      return from_left ? blk->endleft : blk->endright;
+    };
+    int64_t last = last_block_index(par);
+    int64_t h0 = std::clamp<int64_t>(hint, 1, last);
+    int64_t lo, hi;  // invariant: end_of(lo) < b <= end_of(hi)
+    if (end_of(h0) >= b) {
+      hi = h0;
+      int64_t step = 1;
+      lo = h0 - step;
+      while (lo > 0 && end_of(lo) >= b) {
+        hi = lo;
+        step <<= 1;
+        lo = h0 - step;
+      }
+      if (lo < 0) lo = 0;
+    } else {
+      lo = h0;
+      int64_t step = 1;
+      hi = h0 + step;
+      while (hi < last && end_of(hi) < b) {
+        lo = hi;
+        step <<= 1;
+        hi = h0 + step;
+      }
+      if (hi > last) hi = last;  // propagate() guarantees end_of(last) >= b
+    }
+    while (lo + 1 < hi) {
+      int64_t mid = lo + (hi - lo) / 2;
+      if (end_of(mid) >= b) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    return hi;
+  }
+
+  /// Element of the i-th enqueue of block `b` at node `v`: descend to the
+  /// leaf holding it. Within a block, left-child enqueues precede right-child
+  /// ones; the per-level binary search spans only the merged subblocks, so it
+  /// costs O(log contention) per level.
+  std::optional<T> get_enqueue(Node* v, int64_t b, int64_t i) {
+    while (!v->is_leaf) {
+      const Block* cur = load(v, b);
+      const Block* prev = load(v, b - 1);
+      Node* child;
+      int64_t lo, hi;
+      int64_t numleft = load(v->left, cur->endleft)->sumenq -
+                        load(v->left, prev->endleft)->sumenq;
+      if (i <= numleft) {
+        child = v->left;
+        lo = prev->endleft;
+        hi = cur->endleft;
+      } else {
+        child = v->right;
+        lo = prev->endright;
+        hi = cur->endright;
+        i -= numleft;
+      }
+      int64_t target = load(child, lo)->sumenq + i;
+      while (lo + 1 < hi) {
+        int64_t mid = lo + (hi - lo) / 2;
+        if (load(child, mid)->sumenq >= target) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      i = target - load(child, hi - 1)->sumenq;
+      v = child;
+      b = hi;
+    }
+    return load(v, b)->element;
+  }
+
+  int p_;
+  int next_id_ = 0;  // node id source during build
+  Storage* storage_;
+  Node* root_ = nullptr;
+  std::vector<Node*> leaves_;
+};
+
+}  // namespace wfq::core

@@ -1,47 +1,28 @@
 // The paper's wait-free FIFO queue with polylogarithmic worst-case step
 // complexity (Naderibeni & Ruppert, PODC 2023), unbounded-space variant.
 //
-// Structure: a static tournament ("ordering") tree with one leaf per process.
-// Every node holds an append-only array of immutable Blocks plus a head index.
-// An operation appends a block at its own leaf, then propagates to the root
-// with the double-Refresh idiom: each Refresh tries to CAS one new block into
-// the parent that merges every child block not yet merged. Agreement on the
-// root's block sequence induces the linearization: blocks in index order;
-// within a block, enqueues before dequeues; within each kind, left-subtree
-// operations before right-subtree ones.
+// Thin client of the shared ordering-tree core (core/ordering_tree.hpp,
+// ISSUE 5): an enqueue is a leaf Append + double-Refresh propagation; a
+// dequeue appends its own block, locates itself in the root ordering
+// (IndexDequeue: walk up, O(log p) levels, gallop-from-hint per level),
+// decides null-vs-value from the root block's size prefix, and finds the
+// enqueue it returns with the Lemma-20 doubling search (cost grows with the
+// distance back to the enqueue's block — i.e. with log of the queue size —
+// not with the total history length; see experiments E10/E12), then descends
+// to the enqueue's leaf to read the element.
 //
-// Blocks carry the paper's "implicit" fields materialized at creation time
-// (each is written once before the block is published, so readers never see
-// partial values):
-//   sumenq/sumdeq — cumulative enqueue/dequeue counts in this node's subtree
-//                   up to and including this block;
-//   endleft/endright — index of the last child block merged (internal nodes);
-//   size — queue size after this block's operations (root only), clamped at 0
-//          so null dequeues do not drive it negative;
-//   super — hint: parent's head index read just before this block was
-//           published; the true superblock index is >= super and within the
-//           append contention of it, so a gallop from the hint costs
-//           O(log contention) (the paper's log-c factor).
-//
-// A dequeue locates itself in the root ordering (IndexDequeue: walk up,
-// O(log p) levels, gallop-from-hint per level), decides null-vs-value from
-// the root block's size prefix, and finds the enqueue it returns with the
-// Lemma-20 doubling search (cost grows with the distance back to the
-// enqueue's block — i.e. with log of the queue size — not with the total
-// history length; see experiments E10/E12, bench_runner -e doubling_search
-// / -e search_ablation), then
-// descends to the enqueue's leaf to read the element.
+// Storage policy: DirectStorage — every historical block read is a plain
+// (counted) array load; nothing is ever truncated. The bounded-space variant
+// (core/bounded_queue.hpp) instantiates the same tree with an archive-aware
+// policy instead.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
-#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <optional>
 #include <utility>
-#include <vector>
 
+#include "core/ordering_tree.hpp"
 #include "platform/platform.hpp"
 
 namespace wfq::core {
@@ -49,398 +30,46 @@ namespace wfq::core {
 template <typename T, typename Platform = platform::RealPlatform>
 class UnboundedQueue {
  public:
-  struct Block {
-    std::optional<T> element;  // leaf enqueue blocks only
-    int64_t sumenq = 0;
-    int64_t sumdeq = 0;
-    int64_t endleft = 0;   // internal nodes only
-    int64_t endright = 0;  // internal nodes only
-    int64_t size = 0;      // root blocks only
-    int64_t super = 0;     // superblock-index hint (non-root blocks)
-  };
+  using Tree = OrderingTree<T, Platform, DirectStorage>;
+  using Block = typename Tree::Block;
+  using Node = typename Tree::Node;
 
-  /// Append-only unbounded block array: geometrically growing segments
-  /// installed on demand with an (uncounted, bookkeeping-only) directory CAS.
-  /// Slot accesses go through Platform atomics and count as shared steps.
-  class BlockArray {
-   public:
-    BlockArray() = default;
-    BlockArray(const BlockArray&) = delete;
-    BlockArray& operator=(const BlockArray&) = delete;
-
-    ~BlockArray() {
-      for (int k = 0; k < kSegments; ++k) {
-        Slot* seg = segs_[k].load(std::memory_order_acquire);
-        if (!seg) continue;
-        int64_t n = int64_t{1} << (k + kBaseBits);
-        for (int64_t j = 0; j < n; ++j) delete seg[j].unsafe_peek();
-        delete[] seg;
-      }
-    }
-
-    Block* load(int64_t i) const { return slot(i).load(); }
-
-    /// Single-writer publish (leaf appends).
-    void store(int64_t i, Block* b) { slot(i).store(b); }
-
-    /// One CAS attempt to install `b` at slot `i` (internal appends).
-    bool cas(int64_t i, Block* b) { return slot(i).cas(nullptr, b); }
-
-    /// Uncounted accessors for construction and debug introspection.
-    Block* unsafe_peek(int64_t i) const { return slot(i).unsafe_peek(); }
-    void unsafe_install(int64_t i, Block* b) { slot(i).unsafe_store(b); }
-
-   private:
-    using Slot = typename Platform::template Atomic<Block*>;
-    static constexpr int kBaseBits = 6;  // first segment: 64 slots
-    static constexpr int kSegments = 42;
-
-    Slot& slot(int64_t i) const {
-      uint64_t base = static_cast<uint64_t>(i) + (uint64_t{1} << kBaseBits);
-      int k = std::bit_width(base) - 1 - kBaseBits;
-      int64_t off = static_cast<int64_t>(base - (uint64_t{1} << (k + kBaseBits)));
-      return segment(k)[off];
-    }
-
-    Slot* segment(int k) const {
-      Slot* seg = segs_[k].load(std::memory_order_acquire);
-      if (seg) return seg;
-      int64_t n = int64_t{1} << (k + kBaseBits);
-      Slot* fresh = new Slot[static_cast<size_t>(n)]();
-      Slot* expected = nullptr;
-      if (segs_[k].compare_exchange_strong(expected, fresh,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_acquire)) {
-        return fresh;
-      }
-      delete[] fresh;
-      return expected;
-    }
-
-    mutable std::atomic<Slot*> segs_[kSegments] = {};
-  };
-
-  struct Node {
-    Node* parent = nullptr;
-    Node* left = nullptr;
-    Node* right = nullptr;
-    bool is_leaf = false;
-    bool is_root = false;
-    int leaf_pid = -1;
-    // Next free block slot; blocks[0] is a zeroed sentinel, so head starts at
-    // 1 and lags the filled frontier by at most one (helpers CAS it forward).
-    typename Platform::template Atomic<int64_t> head{1};
-    BlockArray blocks;
-  };
-
-  explicit UnboundedQueue(int procs) : p_(procs < 1 ? 1 : procs) {
-    unsigned width = std::bit_ceil(static_cast<unsigned>(p_));
-    root_ = build_tree(nullptr, width);
-    collect_leaves(root_);
-  }
+  explicit UnboundedQueue(int procs) : tree_(procs, storage_) {}
 
   UnboundedQueue(const UnboundedQueue&) = delete;
   UnboundedQueue& operator=(const UnboundedQueue&) = delete;
 
-  ~UnboundedQueue() { delete_tree(root_); }
-
   /// Associates the calling thread with leaf `pid` (0-based, < procs).
   void bind_thread(int pid) {
-    assert(pid >= 0 && pid < p_);
+    assert(pid >= 0 && pid < tree_.procs());
     platform::bind_thread(pid);
   }
 
   void enqueue(T x) {
-    Node* leaf = leaves_[static_cast<size_t>(platform::current_pid())];
-    append_leaf(leaf, std::optional<T>(std::move(x)), /*is_enq=*/true);
-    propagate(leaf->parent);
+    tree_.append(platform::current_pid(), std::optional<T>(std::move(x)),
+                 /*is_enq=*/true);
   }
 
   std::optional<T> dequeue() {
-    Node* leaf = leaves_[static_cast<size_t>(platform::current_pid())];
-    int64_t b = append_leaf(leaf, std::nullopt, /*is_enq=*/false);
-    propagate(leaf->parent);
-    auto [rb, r] = index_dequeue(leaf, b);
-    return find_response(rb, r);
+    int pid = platform::current_pid();
+    int64_t b = tree_.append(pid, std::nullopt, /*is_enq=*/false);
+    auto [rb, r] = tree_.index_op(pid, b, /*is_enq=*/false);
+    return tree_.find_response(rb, r);
   }
 
   // --- debug/introspection surface (uncounted) -----------------------------
 
-  const Node* debug_root() const { return root_; }
-  const Node* debug_leaf(int pid) const {
-    return leaves_[static_cast<size_t>(pid)];
-  }
+  const Node* debug_root() const { return tree_.root(); }
+  const Node* debug_leaf(int pid) const { return tree_.leaf(pid); }
 
   /// Number of blocks ever appended across all nodes (excluding sentinels).
-  size_t debug_total_blocks() const {
-    size_t total = 0;
-    count_blocks(root_, total);
-    return total;
-  }
+  size_t debug_total_blocks() const { return tree_.debug_total_blocks(); }
 
-  int procs() const { return p_; }
+  int procs() const { return tree_.procs(); }
 
  private:
-  // --- tree construction ---------------------------------------------------
-
-  Node* build_tree(Node* parent, unsigned width) {
-    Node* n = new Node;
-    n->parent = parent;
-    n->is_root = (parent == nullptr);
-    n->blocks.unsafe_install(0, new Block{});  // sentinel: all fields zero
-    if (width == 1) {
-      n->is_leaf = true;
-    } else {
-      n->left = build_tree(n, width / 2);
-      n->right = build_tree(n, width / 2);
-    }
-    return n;
-  }
-
-  void collect_leaves(Node* n) {
-    if (n->is_leaf) {
-      n->leaf_pid = static_cast<int>(leaves_.size());
-      leaves_.push_back(n);
-      return;
-    }
-    collect_leaves(n->left);
-    collect_leaves(n->right);
-  }
-
-  void delete_tree(Node* n) {
-    if (!n) return;
-    delete_tree(n->left);
-    delete_tree(n->right);
-    delete n;
-  }
-
-  void count_blocks(const Node* n, size_t& total) const {
-    if (!n) return;
-    int64_t h = n->head.unsafe_peek();
-    if (n->blocks.unsafe_peek(h) != nullptr) ++h;  // head lagging the frontier
-    total += static_cast<size_t>(h - 1);           // exclude the sentinel
-    count_blocks(n->left, total);
-    count_blocks(n->right, total);
-  }
-
-  // --- append & propagation ------------------------------------------------
-
-  /// Appends one operation block at the (single-writer) leaf; returns its
-  /// block index.
-  int64_t append_leaf(Node* leaf, std::optional<T> elem, bool is_enq) {
-    int64_t h = leaf->head.load();
-    const Block* prev = leaf->blocks.load(h - 1);
-    Block* b = new Block;
-    b->element = std::move(elem);
-    b->sumenq = prev->sumenq + (is_enq ? 1 : 0);
-    b->sumdeq = prev->sumdeq + (is_enq ? 0 : 1);
-    if (leaf->is_root) {
-      b->size = std::max<int64_t>(0, prev->size + (is_enq ? 1 : -1));
-    } else {
-      b->super = leaf->parent->head.load();  // hint, read before publishing
-    }
-    leaf->blocks.store(h, b);
-    leaf->head.store(h + 1);
-    return h;
-  }
-
-  /// Index of the last appended block of `v` (head may lag it by one).
-  int64_t last_block_index(const Node* v) {
-    int64_t h = v->head.load();
-    if (v->blocks.load(h) != nullptr) return h;
-    return h - 1;
-  }
-
-  /// After the leaf append, one Refresh pair per ancestor suffices: if both
-  /// calls lose their CAS, the two winning blocks were both created after our
-  /// child block was published, so the second winner merged it (the f-array
-  /// double-refresh argument; each failure below is a genuine CAS loss on a
-  /// slot we saw empty, which is what the argument needs).
-  void propagate(Node* v) {
-    while (v != nullptr) {
-      if (!refresh(v)) refresh(v);
-      v = v->parent;
-    }
-  }
-
-  /// Tries to append one block to internal node `v` merging all child blocks
-  /// not yet merged. True if nothing new to merge or our CAS won.
-  bool refresh(Node* v) {
-    int64_t h = v->head.load();
-    while (v->blocks.load(h) != nullptr) {  // stale head: help it forward
-      v->head.cas(h, h + 1);
-      h = v->head.load();
-    }
-    const Block* prev = v->blocks.load(h - 1);
-    int64_t lend = last_block_index(v->left);
-    int64_t rend = last_block_index(v->right);
-    if (lend == prev->endleft && rend == prev->endright) return true;
-    Block* nb = new Block;
-    nb->endleft = lend;
-    nb->endright = rend;
-    nb->sumenq = v->left->blocks.load(lend)->sumenq +
-                 v->right->blocks.load(rend)->sumenq;
-    nb->sumdeq = v->left->blocks.load(lend)->sumdeq +
-                 v->right->blocks.load(rend)->sumdeq;
-    if (v->is_root) {
-      int64_t numenq = nb->sumenq - prev->sumenq;
-      int64_t numdeq = nb->sumdeq - prev->sumdeq;
-      nb->size = std::max<int64_t>(0, prev->size + numenq - numdeq);
-    } else {
-      nb->super = v->parent->head.load();
-    }
-    if (v->blocks.cas(h, nb)) {
-      v->head.cas(h, h + 1);
-      return true;
-    }
-    delete nb;
-    v->head.cas(h, h + 1);  // a winner exists; help advance past it
-    return false;
-  }
-
-  // --- dequeue path --------------------------------------------------------
-
-  /// Walks the dequeue appended as leaf block `b` up to the root, returning
-  /// (root block index, rank of this dequeue among that block's dequeues).
-  std::pair<int64_t, int64_t> index_dequeue(Node* v, int64_t b) {
-    int64_t i = 1;
-    while (!v->is_root) {
-      Node* par = v->parent;
-      bool from_left = (par->left == v);
-      int64_t hint = v->blocks.load(b)->super;
-      int64_t s = find_superblock(par, from_left, b, hint);
-      const Block* sb = par->blocks.load(s);
-      const Block* sp = par->blocks.load(s - 1);
-      int64_t start = from_left ? sp->endleft : sp->endright;
-      // Dequeues of this child merged earlier in the same superblock.
-      i += v->blocks.load(b - 1)->sumdeq - v->blocks.load(start)->sumdeq;
-      if (!from_left) {
-        // Left-child dequeues of the superblock precede all right-child ones.
-        i += par->left->blocks.load(sb->endleft)->sumdeq -
-             par->left->blocks.load(sp->endleft)->sumdeq;
-      }
-      v = par;
-      b = s;
-    }
-    return {b, i};
-  }
-
-  /// Smallest parent block index s with end{left|right}(s) >= b, i.e. the
-  /// block of `par` that merged child block `b`. Gallops out from the hint
-  /// (end* is nondecreasing in s), then binary-searches the bracket.
-  int64_t find_superblock(Node* par, bool from_left, int64_t b, int64_t hint) {
-    auto end_of = [&](int64_t s) {
-      const Block* blk = par->blocks.load(s);
-      return from_left ? blk->endleft : blk->endright;
-    };
-    int64_t last = last_block_index(par);
-    int64_t h0 = std::clamp<int64_t>(hint, 1, last);
-    int64_t lo, hi;  // invariant: end_of(lo) < b <= end_of(hi)
-    if (end_of(h0) >= b) {
-      hi = h0;
-      int64_t step = 1;
-      lo = h0 - step;
-      while (lo > 0 && end_of(lo) >= b) {
-        hi = lo;
-        step <<= 1;
-        lo = h0 - step;
-      }
-      if (lo < 0) lo = 0;
-    } else {
-      lo = h0;
-      int64_t step = 1;
-      hi = h0 + step;
-      while (hi < last && end_of(hi) < b) {
-        lo = hi;
-        step <<= 1;
-        hi = h0 + step;
-      }
-      if (hi > last) hi = last;  // propagate() guarantees end_of(last) >= b
-    }
-    while (lo + 1 < hi) {
-      int64_t mid = lo + (hi - lo) / 2;
-      if (end_of(mid) >= b) {
-        hi = mid;
-      } else {
-        lo = mid;
-      }
-    }
-    return hi;
-  }
-
-  /// Resolves the dequeue that is the r-th dequeue of root block `b`: null if
-  /// the queue is empty at its linearization point, otherwise the element of
-  /// the e-th enqueue overall, located with the doubling search (Lemma 20)
-  /// and a root-to-leaf descent.
-  std::optional<T> find_response(int64_t b, int64_t r) {
-    const Block* prev = root_->blocks.load(b - 1);
-    const Block* cur = root_->blocks.load(b);
-    int64_t numenq = cur->sumenq - prev->sumenq;
-    if (r > prev->size + numenq) return std::nullopt;
-    int64_t e = prev->sumenq - prev->size + r;
-    // Doubling search backward from b for the block with sumenq >= e; its
-    // cost tracks the distance b - b_e, not the total number of root blocks.
-    int64_t hi = b;
-    int64_t step = 1;
-    int64_t lo = std::max<int64_t>(b - step, 0);
-    while (lo > 0 && root_->blocks.load(lo)->sumenq >= e) {
-      hi = lo;
-      step <<= 1;
-      lo = std::max<int64_t>(b - step, 0);
-    }
-    while (lo + 1 < hi) {
-      int64_t mid = lo + (hi - lo) / 2;
-      if (root_->blocks.load(mid)->sumenq >= e) {
-        hi = mid;
-      } else {
-        lo = mid;
-      }
-    }
-    int64_t i = e - root_->blocks.load(hi - 1)->sumenq;
-    return get_enqueue(root_, hi, i);
-  }
-
-  /// Element of the i-th enqueue of block `b` at node `v`: descend to the
-  /// leaf holding it. Within a block, left-child enqueues precede right-child
-  /// ones; the per-level binary search spans only the merged subblocks, so it
-  /// costs O(log contention) per level.
-  std::optional<T> get_enqueue(Node* v, int64_t b, int64_t i) {
-    while (!v->is_leaf) {
-      const Block* cur = v->blocks.load(b);
-      const Block* prev = v->blocks.load(b - 1);
-      Node* child;
-      int64_t lo, hi;
-      int64_t numleft = v->left->blocks.load(cur->endleft)->sumenq -
-                        v->left->blocks.load(prev->endleft)->sumenq;
-      if (i <= numleft) {
-        child = v->left;
-        lo = prev->endleft;
-        hi = cur->endleft;
-      } else {
-        child = v->right;
-        lo = prev->endright;
-        hi = cur->endright;
-        i -= numleft;
-      }
-      int64_t target = child->blocks.load(lo)->sumenq + i;
-      while (lo + 1 < hi) {
-        int64_t mid = lo + (hi - lo) / 2;
-        if (child->blocks.load(mid)->sumenq >= target) {
-          hi = mid;
-        } else {
-          lo = mid;
-        }
-      }
-      i = target - child->blocks.load(hi - 1)->sumenq;
-      v = child;
-      b = hi;
-    }
-    return v->blocks.load(b)->element;
-  }
-
-  int p_;
-  Node* root_ = nullptr;
-  std::vector<Node*> leaves_;
+  DirectStorage storage_;
+  Tree tree_;
 };
 
 }  // namespace wfq::core

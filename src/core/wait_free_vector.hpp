@@ -1,19 +1,33 @@
-// Wait-free vector from the paper's Section 7 extension sketch ("our
-// routines easily adapt"): append is an enqueue-like operation, get(i) walks
-// to the i-th append.
+// Wait-free vector from the paper's Section 7 extension ("our routines
+// easily adapt"), now actually built on the shared ordering-tree core
+// (core/ordering_tree.hpp, ISSUE 5) instead of the flat-FAA stub (which
+// lives on as baselines::FaaVector, registry key "faavec"):
 //
-// STUB: a flat FAA-claimed cell array — wait-free and linearizable, but O(1)
-// per op instead of the paper's O(log p) append / O(log^2 p + log n) get, so
-// E11's shape columns are not meaningful yet. The ordering-tree version
-// (reusing UnboundedQueue's propagation) is a ROADMAP open item.
+//  - append(x) is an enqueue-like operation: leaf Append + double-Refresh
+//    propagation (O(log p) steps like Theorem 22's enqueue), followed by
+//    the IndexDequeue walk generalized to enqueues to learn the index the
+//    value landed at — the position of this append in the root's agreed
+//    linearization. Indices are dense, start at 0, and never change.
+//  - get(i) is an index-directed search: binary search over root blocks by
+//    cumulative sumenq (O(log #blocks) = O(log n)) then the same
+//    root-to-leaf descent a dequeue's FindResponse uses (O(log p) levels ×
+//    O(log contention) per level) — the paper's O(log^2 p + log n).
+//  - size() reads the root's last agreed block (appends still inside
+//    propagation are not yet counted; they appear atomically when their
+//    root merge lands, which is the linearization point).
+//
+// get(i) for i < size() always returns a value: an index is only assigned
+// once the append's block reaches the root, and its element was published
+// at the leaf before propagation began. No capacity, no abort: the block
+// arrays grow geometrically like the queue's.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <optional>
-#include <vector>
+#include <utility>
 
+#include "core/ordering_tree.hpp"
 #include "platform/platform.hpp"
 
 namespace wfq::core {
@@ -21,45 +35,49 @@ namespace wfq::core {
 template <typename T, typename Platform = platform::RealPlatform>
 class WaitFreeVector {
  public:
-  explicit WaitFreeVector(int /*procs*/, size_t capacity = size_t{1} << 16)
-      : cells_(capacity) {}
+  using Tree = OrderingTree<T, Platform, DirectStorage>;
+  using Block = typename Tree::Block;
+  using Node = typename Tree::Node;
 
-  void bind_thread(int pid) { platform::bind_thread(pid); }
+  explicit WaitFreeVector(int procs) : tree_(procs, storage_) {}
 
-  /// Appends and returns the index the value landed at.
+  WaitFreeVector(const WaitFreeVector&) = delete;
+  WaitFreeVector& operator=(const WaitFreeVector&) = delete;
+
+  /// Associates the calling thread with leaf `pid` (0-based, < procs).
+  void bind_thread(int pid) {
+    assert(pid >= 0 && pid < tree_.procs());
+    platform::bind_thread(pid);
+  }
+
+  /// Appends and returns the (0-based) index the value landed at.
   int64_t append(T x) {
-    int64_t slot = len_.fetch_add(1);
-    if (static_cast<size_t>(slot) >= cells_.size()) {
-      std::fprintf(stderr,
-                   "WaitFreeVector: capacity %zu exhausted (slot %lld)\n",
-                   cells_.size(), static_cast<long long>(slot));
-      std::abort();
-    }
-    Cell& c = cells_[static_cast<size_t>(slot)];
-    c.val = std::move(x);
-    c.ready.store(1);
-    return slot;
+    int pid = platform::current_pid();
+    int64_t b = tree_.append(pid, std::optional<T>(std::move(x)),
+                             /*is_enq=*/true);
+    auto [rb, r] = tree_.index_op(pid, b, /*is_enq=*/true);
+    return tree_.enqueue_rank(rb, r) - 1;
   }
 
-  /// Value at index i, or nullopt if i is past the end or the appender has
-  /// claimed the slot but not yet published the value.
+  /// Value at index i, or nullopt if i is past the current end.
   std::optional<T> get(int64_t i) {
-    if (i < 0 || i >= len_.load()) return std::nullopt;
-    Cell& c = cells_[static_cast<size_t>(i)];
-    if (c.ready.load() == 0) return std::nullopt;
-    return c.val;
+    if (i < 0) return std::nullopt;
+    return tree_.find_enqueue(i + 1);
   }
 
-  int64_t size() { return len_.load(); }
+  /// Appends agreed at the root so far.
+  int64_t size() { return tree_.root_sumenq(); }
+
+  // --- debug/introspection surface (uncounted) -----------------------------
+
+  /// Number of blocks ever appended across all nodes (excluding sentinels).
+  size_t debug_total_blocks() const { return tree_.debug_total_blocks(); }
+
+  int procs() const { return tree_.procs(); }
 
  private:
-  struct Cell {
-    typename Platform::template Atomic<uint64_t> ready{0};
-    T val{};
-  };
-
-  typename Platform::template Atomic<int64_t> len_{0};
-  std::vector<Cell> cells_;
+  DirectStorage storage_;
+  Tree tree_;
 };
 
 }  // namespace wfq::core

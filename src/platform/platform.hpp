@@ -19,9 +19,13 @@ namespace wfq::platform {
 
 namespace detail {
 
+/// Yields to the sim scheduler before a shared access, telling the policy
+/// what kind of access this process will perform when next granted a step
+/// (targeted adversaries like stall-refresh park processes mid-primitive).
 template <bool Simulated>
-inline void pre_step() {
-  if constexpr (Simulated) sim::Scheduler::yield_point();
+inline void pre_step(sim::StepKind kind) {
+  if constexpr (Simulated) sim::Scheduler::yield_point(kind);
+  (void)kind;
 }
 
 template <bool Simulated, typename U>
@@ -31,13 +35,13 @@ class AtomicImpl {
   explicit AtomicImpl(U init) : v_(init) {}
 
   U load() const {
-    pre_step<Simulated>();
+    pre_step<Simulated>(sim::StepKind::load);
     ++tls_counts().loads;
     return v_.load(std::memory_order_acquire);
   }
 
   void store(U x) {
-    pre_step<Simulated>();
+    pre_step<Simulated>(sim::StepKind::store);
     ++tls_counts().stores;
     v_.store(x, std::memory_order_release);
   }
@@ -45,7 +49,7 @@ class AtomicImpl {
   /// Single CAS attempt; counted even on failure (the paper charges the
   /// attempt, which is how the CAS retry problem becomes visible in E4).
   bool cas(U expected, U desired) {
-    pre_step<Simulated>();
+    pre_step<Simulated>(sim::StepKind::cas);
     ++tls_counts().cas_attempts;
     bool ok = v_.compare_exchange_strong(expected, desired,
                                          std::memory_order_acq_rel,
@@ -55,7 +59,7 @@ class AtomicImpl {
   }
 
   U fetch_add(U d) {
-    pre_step<Simulated>();
+    pre_step<Simulated>(sim::StepKind::faa);
     ++tls_counts().faas;
     return v_.fetch_add(d, std::memory_order_acq_rel);
   }

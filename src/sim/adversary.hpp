@@ -10,6 +10,11 @@
 //   "anti-faa"         targeted schedule that races dequeuers past stalled
 //                      enqueuers (ROADMAP: the FAA-array queue's Omega(p)
 //                      worst case; see AntiFaaPolicy below and E5b).
+//   "stall-refresh"    stall-the-leader schedule against the ordering
+//                      tree's double-Refresh: parks a process right before
+//                      its CAS while everyone else runs, so the parked
+//                      refresher's install CAS loses and its caller must
+//                      take the second-Refresh path (see StallRefreshPolicy).
 #pragma once
 
 #include <cstdint>
@@ -82,9 +87,91 @@ class AntiFaaPolicy : public SchedulingPolicy {
   RoundRobinPolicy rr_;    // degenerate mode once one role has finished
 };
 
+/// Stall-the-leader adversary against the ordering tree's double-Refresh
+/// (ROADMAP adversary idea; the conformance sweep runs every registered
+/// object under it). The scheduler reports each process's upcoming access
+/// kind through before_step; when the round-robin cursor reaches a process
+/// whose next step is a CAS, the policy parks it there for a burst while
+/// every other process keeps running. In the ordering tree the common CAS
+/// is Refresh's block-install: by the time the victim's CAS finally
+/// executes, a competing refresher has typically installed a block at the
+/// index the victim saw empty, so the victim's first Refresh LOSES and its
+/// propagate() relies on the second Refresh (plus the helped head-CAS
+/// paths) — exactly the double-refresh argument's hard case, which
+/// lock-step schedules almost never exercise. Victims rotate with the
+/// cursor, and a victim whose stall expires — or that becomes the only
+/// runnable process — is released, so every workload still terminates.
+class StallRefreshPolicy : public SchedulingPolicy {
+ public:
+  void before_step(int pid, StepKind kind) override {
+    reserve(static_cast<size_t>(pid) + 1);
+    next_kind_[static_cast<size_t>(pid)] =
+        (kind == StepKind::cas) ? kCas : kOther;
+  }
+
+  int pick(const std::vector<char>& runnable, uint64_t /*step*/) override {
+    const int n = static_cast<int>(runnable.size());
+    reserve(runnable.size());
+    if (stall_ == 0) stall_ = 6 * static_cast<uint64_t>(n) + 10;
+
+    // Release the victim when its stall is spent or it already finished.
+    // Its pending CAS no longer counts for victimization (else the scan
+    // below would re-park it with a fresh stall before it ever ran: each
+    // pending CAS earns at most ONE bounded park).
+    if (victim_ >= 0 &&
+        (stall_left_ == 0 || !runnable[static_cast<size_t>(victim_)])) {
+      next_kind_[static_cast<size_t>(victim_)] = kOther;
+      victim_ = -1;
+    }
+
+    int fallback = -1;  // the victim, if it is the only runnable process
+    for (int k = 1; k <= n; ++k) {
+      int c = (cursor_ + k) % n;
+      if (!runnable[static_cast<size_t>(c)]) continue;
+      if (c == victim_) {
+        fallback = c;
+        continue;
+      }
+      // A process about to CAS becomes the new victim (parked, skipped)
+      // when no stall is in progress; its CAS executes only once released.
+      if (victim_ < 0 && next_kind_[static_cast<size_t>(c)] == kCas) {
+        victim_ = c;
+        stall_left_ = stall_;
+        fallback = c;
+        continue;
+      }
+      cursor_ = c;
+      if (victim_ >= 0 && stall_left_ > 0) --stall_left_;
+      next_kind_[static_cast<size_t>(c)] = kOther;  // step consumed
+      return c;
+    }
+    // Only the victim is left: release it so the run terminates.
+    victim_ = -1;
+    if (fallback >= 0) {
+      cursor_ = fallback;
+      next_kind_[static_cast<size_t>(fallback)] = kOther;
+    }
+    return fallback;
+  }
+
+ private:
+  static constexpr char kOther = 0;
+  static constexpr char kCas = 1;
+
+  void reserve(size_t n) {
+    if (next_kind_.size() < n) next_kind_.resize(n, kOther);
+  }
+
+  std::vector<char> next_kind_;
+  int cursor_ = -1;     // round-robin position among non-victims
+  int victim_ = -1;     // process parked at its pending CAS
+  uint64_t stall_ = 0;  // stall length, fixed at 6n+10 on first pick
+  uint64_t stall_left_ = 0;
+};
+
 /// Spec strings accepted by make_policy, for --help output and docs.
 inline std::vector<std::string> policy_names() {
-  return {"round-robin", "random:<seed>", "anti-faa"};
+  return {"round-robin", "random:<seed>", "anti-faa", "stall-refresh"};
 }
 
 /// Builds a fresh policy from its spec string; throws std::invalid_argument
@@ -94,6 +181,7 @@ inline std::unique_ptr<SchedulingPolicy> make_policy(const std::string& spec) {
   if (spec == "round-robin" || spec == "rr")
     return std::make_unique<RoundRobinPolicy>();
   if (spec == "anti-faa") return std::make_unique<AntiFaaPolicy>();
+  if (spec == "stall-refresh") return std::make_unique<StallRefreshPolicy>();
   if (spec.rfind("random", 0) == 0) {
     if (spec.size() < 8 || spec[6] != ':')
       throw std::invalid_argument(

@@ -18,6 +18,12 @@
 
 namespace wfq::sim {
 
+/// Kind of the shared-memory access a process is about to perform; reported
+/// to the policy through before_step so targeted adversaries (stall-refresh)
+/// can park a process at a chosen primitive — e.g. right before the install
+/// CAS of the ordering tree's Refresh.
+enum class StepKind { load, store, cas, faa };
+
 /// The adversary: picks which runnable process takes the next shared step.
 class SchedulingPolicy {
  public:
@@ -25,6 +31,14 @@ class SchedulingPolicy {
   /// `runnable[i]` is true for processes that have not finished. At least one
   /// entry is true. Returns the index of the process to run next.
   virtual int pick(const std::vector<char>& runnable, uint64_t step) = 0;
+  /// Called when process `pid` reaches its next shared access, before pick
+  /// decides who runs: `kind` is the access pid will perform when it is next
+  /// granted a step. A policy that parks pid now stalls it mid-primitive.
+  /// Default: ignore (round-robin/random/anti-faa are kind-oblivious).
+  virtual void before_step(int pid, StepKind kind) {
+    (void)pid;
+    (void)kind;
+  }
 };
 
 /// The paper's canonical worst-case adversary for CAS-based queues: perfect
@@ -159,21 +173,23 @@ class Scheduler {
   uint64_t steps() const { return steps_; }
 
   /// Called by SimPlatform before each shared-memory access of the calling
-  /// simulated process. No-op when the thread is not a simulated process.
-  static void yield_point() {
+  /// simulated process, with that access's kind. No-op when the thread is
+  /// not a simulated process.
+  static void yield_point(StepKind kind) {
     detail::TlsCtx& ctx = detail::tls_ctx();
-    if (ctx.sched != nullptr) ctx.sched->yield(ctx.pid);
+    if (ctx.sched != nullptr) ctx.sched->yield(ctx.pid, kind);
   }
 
  private:
   // All scheduler state below is only ever touched by the baton holder, so
   // it needs no locking; the semaphore handoff orders the accesses.
-  void yield(int pid) {
+  void yield(int pid, StepKind kind) {
     if (limit_hit_ || ++steps_ > max_steps_) {
       limit_hit_ = true;
       throw StepLimitExceeded(max_steps_);
     }
     trace_.push_back(pid);
+    policy_->before_step(pid, kind);
     int next = policy_->pick(runnable_, steps_);
     if (next == pid) return;  // keep running
     sems_[static_cast<size_t>(next)]->release();

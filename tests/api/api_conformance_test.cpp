@@ -1,11 +1,15 @@
-// Conformance suite for the unified concurrent-object API: every queue name
-// in api::queue_names() — current and future — is run through (a) the
-// sequential differential test against std::queue and (b) a short
+// Conformance suite for the unified concurrent-object API: every object in
+// the registry — queues in api::queue_names(), vectors in
+// api::vector_names(), current and future — is run through (a) a sequential
+// differential test against the matching std:: container and (b) a short
 // simulator-driven linearizability run under each registered adversary
-// family (round-robin, seeded random, and the targeted anti-faa schedule).
-// Pass a queue name as argv[1] to run one implementation; with no args the
-// whole registry is swept, so registering a new queue automatically puts it
-// under test. Also covers the registry's error paths and AnyQueue basics.
+// family (round-robin, seeded random, the targeted anti-faa schedule, and
+// the stall-refresh schedule that forces second-Refresh paths in the
+// ordering tree). Pass an object name as argv[1] to run one implementation;
+// with no args the whole registry is swept, so registering a new object
+// automatically puts it under test. Also covers the registries' error paths
+// and AnyQueue/AnyVector basics.
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "api/concurrent_queue.hpp"
+#include "api/concurrent_vector.hpp"
 #include "api/queue_registry.hpp"
 #include "sim/adversary.hpp"
 #include "sim/scheduler.hpp"
@@ -26,8 +31,16 @@
 namespace {
 
 using wfq::api::AnyQueue;
+using wfq::api::AnyVector;
 using wfq::api::Backend;
 using wfq::api::QueueConfig;
+
+/// Every registered adversary family, as swept below. stall-refresh is the
+/// newest: it parks a process right before its pending CAS, so the
+/// double-Refresh "both CASes lost" argument is exercised constantly
+/// instead of almost never.
+const char* kAdversaries[] = {"round-robin", "random:77", "anti-faa",
+                              "stall-refresh"};
 
 /// (a) Randomized differential test against std::queue: single-threaded
 /// mixed history with ops issued from rotating bound pids must match the
@@ -122,6 +135,154 @@ void sim_linearizability(const std::string& name,
   CHECK_EQ(dequeued.size(), enqueued.size());
 }
 
+/// (a') Randomized differential test against std::vector: single-threaded
+/// mixed append/get/size history from rotating bound pids. Append must
+/// return exactly the index std::vector would assign; get must agree inside
+/// the model and be null past its end.
+void vector_sequential_differential(const std::string& name, uint64_t seed) {
+  constexpr int kProcs = 4;
+  AnyVector<uint64_t> v = wfq::api::make_vector<uint64_t>(
+      name, QueueConfig{.procs = kProcs, .backend = Backend::real});
+  std::vector<uint64_t> model;
+  std::mt19937_64 rng(seed);
+  uint64_t next_val = 1;
+  for (int k = 0; k < 1500; ++k) {
+    v.bind_thread(static_cast<int>(rng() % kProcs));
+    uint64_t roll = rng() % 1000;
+    if (roll < 500) {
+      int64_t idx = v.append(next_val);
+      CHECK_EQ(idx, static_cast<int64_t>(model.size()));
+      model.push_back(next_val);
+      ++next_val;
+    } else if (roll < 900) {
+      // Probe inside the model and a little past its end.
+      auto i = static_cast<int64_t>(rng() % (model.size() + 4));
+      std::optional<uint64_t> got = v.get(i);
+      if (i < static_cast<int64_t>(model.size())) {
+        CHECK(got.has_value());
+        if (got.has_value()) CHECK_EQ(*got, model[static_cast<size_t>(i)]);
+      } else {
+        CHECK(!got.has_value());
+      }
+    } else {
+      CHECK_EQ(v.size(), static_cast<int64_t>(model.size()));
+    }
+  }
+  CHECK(!v.get(-1).has_value());
+  CHECK_EQ(v.size(), static_cast<int64_t>(model.size()));
+}
+
+/// (b') Short sim linearizability run for vectors: p processes append
+/// tagged values, immediately re-read their own landing index, and after
+/// the run the whole index space must hold every appended value exactly
+/// once, with each producer's values at strictly increasing indices (its
+/// appends linearize in program order).
+void vector_sim_linearizability(const std::string& name,
+                                const std::string& adversary) {
+  constexpr int kProcs = 4;
+  constexpr int kPerProc = 12;
+  AnyVector<uint64_t> v = wfq::api::make_vector<uint64_t>(
+      name, QueueConfig{.procs = kProcs, .backend = Backend::sim});
+  std::vector<std::vector<std::pair<int64_t, uint64_t>>> claims(kProcs);
+  wfq::sim::Scheduler sched(wfq::sim::make_policy(adversary));
+  std::vector<std::function<void()>> bodies;
+  for (int pid = 0; pid < kProcs; ++pid) {
+    bodies.emplace_back([&v, &claims, pid] {
+      int64_t appended = 0;
+      for (int k = 0; k < kPerProc; ++k) {
+        uint64_t val = (static_cast<uint64_t>(pid) << 32) |
+                       static_cast<uint64_t>(k);
+        v.bind_thread(pid);
+        int64_t idx = v.append(val);
+        ++appended;
+        claims[static_cast<size_t>(pid)].emplace_back(idx, val);
+        // An append's index is permanent the moment it returns, and size()
+        // must already cover it (plus everything this process did before).
+        std::optional<uint64_t> got = v.get(idx);
+        CHECK(got.has_value());
+        if (got.has_value()) CHECK_EQ(*got, val);
+        CHECK(v.size() >= appended);
+      }
+    });
+  }
+  sched.run(std::move(bodies));
+
+  constexpr int64_t kTotal = int64_t{kProcs} * kPerProc;
+  CHECK_EQ(v.size(), kTotal);
+  std::set<int64_t> used_indices;
+  for (int pid = 0; pid < kProcs; ++pid) {
+    int64_t last_idx = -1;
+    CHECK_EQ(claims[static_cast<size_t>(pid)].size(),
+             static_cast<size_t>(kPerProc));
+    for (const auto& [idx, val] : claims[static_cast<size_t>(pid)]) {
+      CHECK(idx >= 0 && idx < kTotal);
+      CHECK(used_indices.insert(idx).second);  // no two appends share a slot
+      CHECK(idx > last_idx);                   // program order -> index order
+      last_idx = idx;
+      v.bind_thread(0);
+      std::optional<uint64_t> got = v.get(idx);
+      CHECK(got.has_value());
+      if (got.has_value()) CHECK_EQ(*got, val);
+    }
+  }
+  // Full scan: the index space is dense and holds exactly the appended set.
+  std::set<uint64_t> seen;
+  for (int64_t i = 0; i < kTotal; ++i) {
+    std::optional<uint64_t> got = v.get(i);
+    CHECK(got.has_value());
+    if (got.has_value()) CHECK(seen.insert(*got).second);
+  }
+  CHECK_EQ(seen.size(), static_cast<size_t>(kTotal));
+  CHECK(!v.get(kTotal).has_value());
+}
+
+void vector_registry_surface() {
+  auto names = wfq::api::vector_names();
+  CHECK(names.size() >= 2);
+  CHECK(names.front() == "wfvec");  // the tree vector leads the registry
+  for (const std::string& n : names) {
+    const auto& info = wfq::api::vector_info(n);
+    CHECK_EQ(info.name, n);
+    CHECK(!info.description.empty());
+    AnyVector<uint64_t> v = wfq::api::make_vector<uint64_t>(
+        n, QueueConfig{.procs = 2, .backend = Backend::real});
+    CHECK(static_cast<bool>(v));
+    CHECK_EQ(v.name(), n);
+    // object_info resolves both kinds through one lookup (the CLI's
+    // --queues validation path).
+    CHECK_EQ(wfq::api::object_info(n).name, n);
+  }
+  CHECK_EQ(wfq::api::object_info("ubq").name, std::string("ubq"));
+  CHECK_EQ(wfq::api::object_info("bounded:g=3").name, std::string("bounded"));
+  for (const char* bad : {"no-such-vector", "wfvec:g=2"}) {
+    bool threw = false;
+    try {
+      (void)wfq::api::make_vector<uint64_t>(bad, QueueConfig{});
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+  bool threw = false;
+  try {
+    (void)wfq::api::object_info("no-such-object");
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  CHECK(threw);
+  // The tree vector exposes block-space introspection through AnyVector;
+  // the flat baseline has no space surface.
+  AnyVector<uint64_t> wv = wfq::api::make_vector<uint64_t>(
+      "wfvec", QueueConfig{.procs = 2, .backend = Backend::real});
+  wv.bind_thread(0);
+  for (uint64_t i = 0; i < 32; ++i) (void)wv.append(i);
+  CHECK(wv.space_stats().known);
+  CHECK(wv.space_stats().live_blocks > 0);
+  AnyVector<uint64_t> fv = wfq::api::make_vector<uint64_t>(
+      "faavec", QueueConfig{.procs = 2, .backend = Backend::real});
+  CHECK(!fv.space_stats().known);
+}
+
 void bounded_key_surface() {
   // Parameterized keys resolve to the "bounded" registry entry and carry
   // their G through the factory; "bq" stays accepted as the pre-PR-4
@@ -210,14 +371,25 @@ int main(int argc, char** argv) {
     // collections at op parities the even period never hits.
     names.push_back("bounded:g=2");
     names.push_back("bounded:g=5");
+    // Vectors ride the same sweep: the per-name loop below dispatches on
+    // the registry kind.
+    for (const std::string& vn : wfq::api::vector_names())
+      names.push_back(vn);
     registry_surface();
+    vector_registry_surface();
     bounded_key_surface();
   }
+  const auto vecs = wfq::api::vector_names();
   for (const std::string& name : names) {
-    sequential_differential(name, /*seed=*/0x5eed + name.size());
-    sim_linearizability(name, "round-robin");
-    sim_linearizability(name, "random:77");
-    sim_linearizability(name, "anti-faa");
+    bool is_vector = std::find(vecs.begin(), vecs.end(), name) != vecs.end();
+    if (is_vector) {
+      vector_sequential_differential(name, /*seed=*/0x5eed + name.size());
+      for (const char* adv : kAdversaries)
+        vector_sim_linearizability(name, adv);
+    } else {
+      sequential_differential(name, /*seed=*/0x5eed + name.size());
+      for (const char* adv : kAdversaries) sim_linearizability(name, adv);
+    }
   }
   return wfq::test::exit_code();
 }

@@ -10,6 +10,7 @@
 //       enqueued = dequeued + leftover exactly as multisets;
 //   (c) dequeues on an empty queue return null.
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -227,7 +228,24 @@ void empty_always_null() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // argv[1] overrides the burst-schedule count of the GC retention sweep
+  // (default 40 in the tier-1 suite). The tree-extraction regression gate
+  // (ISSUE 5) runs the standalone 400-schedule sweep:
+  //   ./sim_linearizability_test 400
+  // A malformed count is a hard error — a silent fallback would let a typo
+  // report success having swept nothing.
+  uint64_t gc_sweeps = 40;
+  if (argc > 1) {
+    char* end = nullptr;
+    gc_sweeps = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || gc_sweeps == 0) {
+      std::cerr << "usage: sim_linearizability_test [gc_sweep_count >= 1]; "
+                << "got \"" << argv[1] << "\"\n";
+      return 2;
+    }
+  }
+
   spsc_exact_fifo(std::make_unique<wfq::sim::RoundRobinPolicy>());
   spsc_exact_fifo(std::make_unique<wfq::sim::RandomPolicy>(12345));
   mpmc_fifo(std::make_unique<wfq::sim::RoundRobinPolicy>());
@@ -235,7 +253,7 @@ int main() {
     mpmc_fifo(std::make_unique<wfq::sim::RandomPolicy>(seed));
   empty_always_null();
   bounded_gc_retention(std::make_unique<wfq::sim::RoundRobinPolicy>());
-  for (uint64_t seed = 1; seed <= 40; ++seed)
+  for (uint64_t seed = 1; seed <= gc_sweeps; ++seed)
     bounded_gc_retention(std::make_unique<BurstPolicy>(seed));
   return wfq::test::exit_code();
 }
