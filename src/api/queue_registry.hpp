@@ -1,6 +1,6 @@
 // String-keyed factory registry for every concurrent object in the repo —
 // object-kind-aware since ISSUE 5: `api::make_queue<T>("ubq", cfg)` builds
-// any of the seven queues, `api::make_vector<T>("wfvec", cfg)` either
+// any of the eight queues, `api::make_vector<T>("wfvec", cfg)` either
 // registered vector, each on either platform backend, so experiment sweeps,
 // the bench_runner `--queues` flag and the conformance tests enumerate
 // implementations by name instead of by #include. Adding an object variant
@@ -21,6 +21,7 @@
 #include "baselines/kp_queue.hpp"
 #include "baselines/lock_queues.hpp"
 #include "baselines/ms_queue.hpp"
+#include "baselines/sim_queue.hpp"
 #include "core/bounded_queue.hpp"
 #include "core/unbounded_queue.hpp"
 #include "core/wait_free_vector.hpp"
@@ -65,7 +66,14 @@ inline const std::vector<QueueInfo>& queue_registry() {
        "RBT + EBR; parameterize as bounded:g=<G>)",
        true},
       {"msq", "Michael-Scott lock-free queue (CAS-retry exemplar)", true},
-      {"kpq", "Kogan-Petrank-style wait-free queue (Theta(p) scan)", true},
+      {"kp",
+       "Kogan-Petrank wait-free queue (phase-ordered helping, Theta(p) per "
+       "op; alias kpq)",
+       true},
+      {"simq",
+       "Fatourou-Kallimanis software-combining queue (toggle announce, "
+       "state-copy + single-CAS install)",
+       true},
       {"faaq", "fetch&add array queue (fast in practice, Omega(p) worst "
                "case)",
        true},
@@ -129,12 +137,39 @@ inline std::optional<BoundedKey> parse_bounded_key(const std::string& name) {
   return BoundedKey{true, g};
 }
 
+/// Canonical registry name for accepted alias spellings. "kpq" was the
+/// Kogan-Petrank key before PR 6 renamed it "kp"; old sweep scripts keep
+/// working, new code should say "kp". ("bq" -> "bounded" lives in
+/// parse_bounded_key because it shares the parameterized-key path.)
+inline std::string resolve_queue_alias(const std::string& name) {
+  if (name == "kpq") return "kp";
+  return name;
+}
+
+/// Strict rejection of parameterized variants of keys that take none:
+/// "kp:1" or "simq:g=2" must fail as "takes no parameters", not vanish into
+/// the generic unknown-name message where the typo class is invisible. Only
+/// the bounded queue has a parameterized key (and handles its own errors in
+/// parse_bounded_key); anything else with a ':' whose base names a
+/// registered queue is rejected here.
+inline void reject_parameterized(const std::string& name) {
+  size_t colon = name.find(':');
+  if (colon == std::string::npos) return;
+  std::string base = resolve_queue_alias(name.substr(0, colon));
+  for (const QueueInfo& e : queue_registry())
+    if (e.name == base && base != "bounded")
+      throw std::invalid_argument(
+          "api::make_queue: queue \"" + base + "\" takes no parameters; got "
+          "\"" + name + "\" (only bounded takes :g=<G>)");
+}
+
 /// Metadata for one registered queue; throws on unknown names. Accepts the
-/// bounded queue's parameterized keys ("bounded:g=<G>", alias "bq"),
-/// resolving them to the "bounded" registry entry.
+/// bounded queue's parameterized keys ("bounded:g=<G>", alias "bq") and the
+/// "kpq" alias, resolving them to their registry entries.
 inline const QueueInfo& queue_info(const std::string& name) {
-  std::string base = name;
+  std::string base = resolve_queue_alias(name);
   if (parse_bounded_key(name).has_value()) base = "bounded";
+  reject_parameterized(name);
   for (const QueueInfo& e : queue_registry())
     if (e.name == base) return e;
   std::string names;
@@ -206,9 +241,12 @@ AnyQueue<T> make_queue(const std::string& name, const QueueConfig& cfg) {
   if (name == "msq")
     return detail::make_on_backend<baselines::MsQueue, T>("msq", cfg.backend,
                                                           cfg.procs);
-  if (name == "kpq")
-    return detail::make_on_backend<baselines::KpQueue, T>("kpq", cfg.backend,
-                                                          cfg.procs);
+  if (name == "kp" || name == "kpq")
+    return detail::make_on_backend<baselines::KpQueue, T>(
+        name.c_str(), cfg.backend, cfg.procs);
+  if (name == "simq")
+    return detail::make_on_backend<baselines::SimQueue, T>(
+        "simq", cfg.backend, cfg.procs);
   if (name == "faaq")
     return detail::make_on_backend<baselines::FaaArrayQueue, T>(
         "faaq", cfg.backend, cfg.procs, cfg.capacity);
@@ -268,8 +306,9 @@ inline const QueueInfo& vector_info(const std::string& name) {
 /// keep their loud queue-side errors, and a name matching neither kind
 /// throws with both known-name lists.
 inline const QueueInfo& object_info(const std::string& name) {
-  std::string base = name;
+  std::string base = resolve_queue_alias(name);
   if (parse_bounded_key(name).has_value()) base = "bounded";
+  reject_parameterized(name);
   for (const QueueInfo& e : queue_registry())
     if (e.name == base) return e;
   for (const QueueInfo& e : vector_registry())
@@ -295,7 +334,8 @@ inline std::vector<std::string> queue_keys_or(
   std::vector<std::string> out;
   for (const std::string& k : keys) {
     bool is_queue = parse_bounded_key(k).has_value();
-    for (const QueueInfo& e : queue_registry()) is_queue |= (e.name == k);
+    const std::string base = resolve_queue_alias(k);
+    for (const QueueInfo& e : queue_registry()) is_queue |= (e.name == base);
     if (is_queue) out.push_back(k);
   }
   return out.empty() ? std::move(def) : out;

@@ -64,13 +64,22 @@ inline ShapeFit fit_shape(const std::vector<double>& ps,
   f.r2_linp = fit_r2(linp, ys);
   // Two points fit every one-parameter model exactly, and so does a
   // constant series (fit_r2's syy==0 convention returns 1.0 for every
-  // model) — a "best" verdict in either case would be fabricated.
+  // model) — a "best" verdict in either case would be fabricated. An
+  // all-equal grid of p values is the dual failure: the predictor has zero
+  // variance, fit_r2's sxx==0 convention returns 0.0 for every model, and
+  // pick_model would crown "log p" on data that distinguishes nothing (a
+  // single-p sweep with repeats is exactly this shape).
   size_t n = std::min(ps.size(), ys.size());
   bool constant = true;
-  for (size_t i = 1; i < n; ++i)
+  bool degenerate = true;
+  for (size_t i = 1; i < n; ++i) {
     if (ys[i] != ys[0]) constant = false;
+    if (ps[i] != ps[0]) degenerate = false;
+  }
   if (n < 3)
     f.best = "indeterminate (<3 points)";
+  else if (degenerate)
+    f.best = "indeterminate (degenerate grid)";
   else if (constant)
     f.best = "indeterminate (constant series)";
   else

@@ -323,9 +323,43 @@ void bounded_key_surface() {
   CHECK(!mq.space_stats().known);
 }
 
+void baseline_key_surface() {
+  // PR 6's faithful baselines: "kp" (Kogan-Petrank) with the pre-rename
+  // "kpq" spelling kept as an alias (like "bq" -> "bounded"), and "simq"
+  // (Fatourou-Kallimanis combining). Both are step-counted registry
+  // citizens; neither takes parameters, and parameterized spellings must
+  // fail loudly as such rather than as generic unknown names.
+  auto names = wfq::api::queue_names();
+  CHECK(std::find(names.begin(), names.end(), "kp") != names.end());
+  CHECK(std::find(names.begin(), names.end(), "simq") != names.end());
+  CHECK_EQ(wfq::api::queue_info("kp").name, std::string("kp"));
+  CHECK_EQ(wfq::api::queue_info("kpq").name, std::string("kp"));
+  CHECK_EQ(wfq::api::queue_info("simq").name, std::string("simq"));
+  CHECK(wfq::api::queue_info("kp").step_counted);
+  CHECK(wfq::api::queue_info("simq").step_counted);
+  CHECK_EQ(wfq::api::object_info("kpq").name, std::string("kp"));
+  // The alias builds the same implementation and echoes the requested
+  // spelling, exactly like "bq".
+  AnyQueue<uint64_t> q = wfq::api::make_queue<uint64_t>(
+      "kpq", QueueConfig{.procs = 2, .backend = Backend::real});
+  CHECK(static_cast<bool>(q));
+  CHECK_EQ(q.name(), std::string("kpq"));
+  for (const char* bad : {"kp:", "kp:1", "kp:g=2", "kpq:g=2", "simq:",
+                          "simq:g=2", "simq:x", "kp :1"}) {
+    bool threw = false;
+    try {
+      (void)wfq::api::make_queue<uint64_t>(bad, QueueConfig{});
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+    if (!threw) std::cerr << "no throw for key: " << bad << "\n";
+  }
+}
+
 void registry_surface() {
   auto names = wfq::api::queue_names();
-  CHECK(names.size() >= 7);
+  CHECK(names.size() >= 8);
   CHECK(names.front() == "ubq");  // the paper's queue leads the registry
   for (const std::string& n : names) {
     const auto& info = wfq::api::queue_info(n);
@@ -378,6 +412,7 @@ int main(int argc, char** argv) {
     registry_surface();
     vector_registry_surface();
     bounded_key_surface();
+    baseline_key_surface();
   }
   const auto vecs = wfq::api::vector_names();
   for (const std::string& name : names) {

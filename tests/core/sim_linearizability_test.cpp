@@ -18,9 +18,12 @@
 #include <set>
 #include <vector>
 
+#include "baselines/kp_queue.hpp"
+#include "baselines/sim_queue.hpp"
 #include "core/bounded_queue.hpp"
 #include "core/unbounded_queue.hpp"
 #include "platform/platform.hpp"
+#include "sim/adversary.hpp"
 #include "sim/scheduler.hpp"
 #include "test_util.hpp"
 
@@ -28,6 +31,8 @@ namespace {
 
 using Queue = wfq::core::UnboundedQueue<uint64_t, wfq::platform::SimPlatform>;
 using BQueue = wfq::core::BoundedQueue<uint64_t, wfq::platform::SimPlatform>;
+using KpQ = wfq::baselines::KpQueue<uint64_t, wfq::platform::SimPlatform>;
+using SimQ = wfq::baselines::SimQueue<uint64_t, wfq::platform::SimPlatform>;
 
 void spsc_exact_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
   constexpr int kN = 60;       // values produced
@@ -52,20 +57,23 @@ void spsc_exact_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
   for (size_t i = 0; i < got.size(); ++i) CHECK_EQ(got[i], i);
 }
 
-void mpmc_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
-  constexpr int kProcs = 8;
-  constexpr int kPerProc = 24;
-  Queue q(kProcs);
-  std::vector<std::vector<uint64_t>> got(kProcs);
+/// The mpmc FIFO/conservation check, templated over the queue type so the
+/// baseline queues (KP, simq) run the exact same oracle as the paper's
+/// queue under any policy.
+template <typename QueueT>
+void mpmc_fifo_check(std::unique_ptr<wfq::sim::SchedulingPolicy> policy,
+                     int procs, int per_proc) {
+  QueueT q(procs);
+  std::vector<std::vector<uint64_t>> got(static_cast<size_t>(procs));
   wfq::sim::Scheduler sched(std::move(policy));
   std::vector<std::function<void()>> bodies;
-  for (int pid = 0; pid < kProcs; ++pid) {
-    bodies.emplace_back([&q, &got, pid] {
+  for (int pid = 0; pid < procs; ++pid) {
+    bodies.emplace_back([&q, &got, pid, per_proc] {
       q.bind_thread(pid);
-      for (int k = 0; k < kPerProc; ++k)
+      for (int k = 0; k < per_proc; ++k)
         q.enqueue((static_cast<uint64_t>(pid) << 32) |
                   static_cast<uint64_t>(k));
-      for (int k = 0; k < kPerProc; ++k) {
+      for (int k = 0; k < per_proc; ++k) {
         auto r = q.dequeue();
         if (r.has_value()) got[static_cast<size_t>(pid)].push_back(*r);
       }
@@ -74,8 +82,8 @@ void mpmc_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
   sched.run(std::move(bodies));
 
   std::set<uint64_t> enqueued;
-  for (int pid = 0; pid < kProcs; ++pid)
-    for (int k = 0; k < kPerProc; ++k)
+  for (int pid = 0; pid < procs; ++pid)
+    for (int k = 0; k < per_proc; ++k)
       enqueued.insert((static_cast<uint64_t>(pid) << 32) |
                       static_cast<uint64_t>(k));
 
@@ -105,6 +113,10 @@ void mpmc_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
     CHECK(dequeued.insert(*r).second);
   }
   CHECK_EQ(dequeued.size(), enqueued.size());
+}
+
+void mpmc_fifo(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
+  mpmc_fifo_check<Queue>(std::move(policy), /*procs=*/8, /*per_proc=*/24);
 }
 
 /// Adversary for the GC retention regression below: runs one process for a
@@ -209,6 +221,106 @@ void bounded_gc_retention(std::unique_ptr<wfq::sim::SchedulingPolicy> policy) {
   CHECK(q.debug_gc_phases() > 0);  // the race window actually existed
 }
 
+/// Targeted adversary for the helping protocols (PR 6): parks a process
+/// right before a CAS — in the KP queue that is the descriptor-completion /
+/// node-append CAS, in simq the combiner's state-install CAS — while the
+/// others run at seeded-random order, so completion almost always comes
+/// from a HELPER (KP) or a competing combiner (simq), not the announcing
+/// process. StallRefreshPolicy covers the deterministic variant of this
+/// schedule; here the victim choice and stall length are randomized so a
+/// seed sweep lands the park at many different protocol points. One
+/// bounded park per pending CAS, and a victim that becomes the only
+/// runnable process is released, so every workload terminates.
+class HelpStallPolicy : public wfq::sim::SchedulingPolicy {
+ public:
+  explicit HelpStallPolicy(uint64_t seed) : state_(seed * 2 + 1) {}
+
+  void before_step(int pid, wfq::sim::StepKind kind) override {
+    reserve(static_cast<size_t>(pid) + 1);
+    next_cas_[static_cast<size_t>(pid)] =
+        (kind == wfq::sim::StepKind::cas) ? 1 : 0;
+  }
+
+  int pick(const std::vector<char>& runnable, uint64_t /*step*/) override {
+    const int n = static_cast<int>(runnable.size());
+    reserve(runnable.size());
+    // Release the victim when its stall is spent or it already finished;
+    // its pending CAS no longer counts for victimization (each pending CAS
+    // earns at most one bounded park).
+    if (victim_ >= 0 &&
+        (stall_left_ == 0 || !runnable[static_cast<size_t>(victim_)])) {
+      next_cas_[static_cast<size_t>(victim_)] = 0;
+      victim_ = -1;
+    }
+    if (victim_ < 0) {
+      // Reservoir-sample a CAS-pending runnable process as the new victim,
+      // but only if someone else stays runnable to make progress past it.
+      int cand = -1, seen = 0;
+      for (int c = 0; c < n; ++c)
+        if (runnable[static_cast<size_t>(c)] &&
+            next_cas_[static_cast<size_t>(c)] != 0 &&
+            next() % static_cast<uint64_t>(++seen) == 0)
+          cand = c;
+      if (cand >= 0) {
+        bool other = false;
+        for (int c = 0; c < n; ++c)
+          if (c != cand && runnable[static_cast<size_t>(c)]) other = true;
+        if (other) {
+          victim_ = cand;
+          stall_left_ = 1 + next() % (6 * static_cast<uint64_t>(n) + 10);
+        }
+      }
+    }
+    // Run a uniformly random runnable non-victim.
+    int chosen = -1, seen = 0;
+    for (int c = 0; c < n; ++c)
+      if (runnable[static_cast<size_t>(c)] && c != victim_ &&
+          next() % static_cast<uint64_t>(++seen) == 0)
+        chosen = c;
+    if (chosen < 0) {  // only the victim is left: release it
+      chosen = victim_;
+      victim_ = -1;
+    }
+    if (victim_ >= 0 && stall_left_ > 0) --stall_left_;
+    if (chosen >= 0) next_cas_[static_cast<size_t>(chosen)] = 0;
+    return chosen;
+  }
+
+ private:
+  void reserve(size_t n) {
+    if (next_cas_.size() < n) next_cas_.resize(n, 0);
+  }
+  uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  uint64_t state_;
+  std::vector<char> next_cas_;
+  int victim_ = -1;  // process parked at its pending CAS
+  uint64_t stall_left_ = 0;
+};
+
+/// Helping-stall conformance for the PR-6 baselines, mirroring the
+/// bounded_gc_retention sweep shape: one deterministic stall-refresh run
+/// per queue plus a seeded HelpStallPolicy sweep. Any lost/duplicated value
+/// or FIFO inversion while a CAS is parked mid-flight fails the oracle.
+void helping_stall_sweep(uint64_t sweeps) {
+  constexpr int kProcs = 6;
+  constexpr int kPerProc = 10;
+  mpmc_fifo_check<KpQ>(std::make_unique<wfq::sim::StallRefreshPolicy>(),
+                       kProcs, kPerProc);
+  mpmc_fifo_check<SimQ>(std::make_unique<wfq::sim::StallRefreshPolicy>(),
+                        kProcs, kPerProc);
+  for (uint64_t seed = 1; seed <= sweeps; ++seed) {
+    mpmc_fifo_check<KpQ>(std::make_unique<HelpStallPolicy>(seed), kProcs,
+                         kPerProc);
+    mpmc_fifo_check<SimQ>(std::make_unique<HelpStallPolicy>(seed), kProcs,
+                          kPerProc);
+  }
+}
+
 void empty_always_null() {
   constexpr int kProcs = 4;
   Queue q(kProcs);
@@ -230,18 +342,24 @@ void empty_always_null() {
 
 int main(int argc, char** argv) {
   // argv[1] overrides the burst-schedule count of the GC retention sweep
-  // (default 40 in the tier-1 suite). The tree-extraction regression gate
+  // (default 40 in the tier-1 suite); argv[2] the seed count of the
+  // helping-stall sweep (default 200). The tree-extraction regression gate
   // (ISSUE 5) runs the standalone 400-schedule sweep:
   //   ./sim_linearizability_test 400
+  // and the ASan helping-stall gate (ISSUE 6) widens the second sweep:
+  //   ./sim_linearizability_test 40 400
   // A malformed count is a hard error — a silent fallback would let a typo
   // report success having swept nothing.
   uint64_t gc_sweeps = 40;
-  if (argc > 1) {
+  uint64_t help_sweeps = 200;
+  uint64_t* const counts[] = {&gc_sweeps, &help_sweeps};
+  for (int i = 1; i < argc && i <= 2; ++i) {
     char* end = nullptr;
-    gc_sweeps = std::strtoull(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || gc_sweeps == 0) {
-      std::cerr << "usage: sim_linearizability_test [gc_sweep_count >= 1]; "
-                << "got \"" << argv[1] << "\"\n";
+    *counts[i - 1] = std::strtoull(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0' || *counts[i - 1] == 0) {
+      std::cerr << "usage: sim_linearizability_test [gc_sweep_count >= 1] "
+                << "[helping_stall_sweep_count >= 1]; got \"" << argv[i]
+                << "\"\n";
       return 2;
     }
   }
@@ -255,5 +373,6 @@ int main(int argc, char** argv) {
   bounded_gc_retention(std::make_unique<wfq::sim::RoundRobinPolicy>());
   for (uint64_t seed = 1; seed <= gc_sweeps; ++seed)
     bounded_gc_retention(std::make_unique<BurstPolicy>(seed));
+  helping_stall_sweep(help_sweeps);
   return wfq::test::exit_code();
 }

@@ -113,6 +113,23 @@ void test_fit_shape() {
   // every model "fits" a flat line, so no growth verdict is claimed.
   auto flat3 = wfq::stats::fit_shape({2, 8, 32}, {0, 0, 0});
   CHECK_EQ(flat3.best, std::string("indeterminate (constant series)"));
+  // Degenerate grid (all-equal p, e.g. a single-p sweep with repeats): the
+  // predictor has zero variance, so every R^2 is 0 and no model verdict is
+  // fabricated out of the sxx==0 convention.
+  auto degen = wfq::stats::fit_shape({8, 8, 8}, {1, 2, 3});
+  CHECK_EQ(degen.best, std::string("indeterminate (degenerate grid)"));
+  CHECK(near(degen.r2_logp, 0.0));
+  CHECK(near(degen.r2_log2p, 0.0));
+  CHECK(near(degen.r2_linp, 0.0));
+  CHECK(std::isfinite(degen.r2_logp) && std::isfinite(degen.r2_linp));
+  // Degenerate grid AND constant series: the grid verdict wins (the data
+  // says nothing about growth in p either way, but the grid is the root
+  // cause a user can fix by widening the sweep).
+  CHECK_EQ(wfq::stats::fit_shape({4, 4, 4}, {5, 5, 5}).best,
+           std::string("indeterminate (degenerate grid)"));
+  // A two-point degenerate grid still reports the <3-points verdict first.
+  CHECK_EQ(wfq::stats::fit_shape({8, 8}, {1, 2}).best,
+           std::string("indeterminate (<3 points)"));
   // The rendered line keeps the historical format.
   std::string line = wfq::stats::shape_line("series-x", flin);
   CHECK(line.find("shape(series-x)") != std::string::npos);
