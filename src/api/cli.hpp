@@ -5,16 +5,19 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "api/emit.hpp"
 #include "api/experiment.hpp"
 #include "api/queue_registry.hpp"
+#include "api/service_registry.hpp"
 #include "sim/adversary.hpp"
 
 namespace wfq::api {
@@ -58,7 +61,7 @@ inline void print_usage(std::ostream& os) {
         "2,4,8\n"
         "  --ops <n>               override operations per process\n"
         "  --adversary <spec>      round-robin | random[:<seed>] | anti-faa\n"
-        "                          | stall-refresh\n"
+        "                          | stall-refresh | bursty:<on>:<off>\n"
         "  --seed <n>              seed used by '--adversary random' when no\n"
         "                          explicit :<seed> is given (default 1)\n"
         "  --queues <csv>          override the object set, by registry name\n"
@@ -77,6 +80,8 @@ inline void print_usage(std::ostream& os) {
   os << "\nregistered vectors:";
   for (const QueueInfo& e : vector_registry())
     os << " " << e.name;
+  os << "\nregistered services:";
+  for (const std::string& s : service_names()) os << " " << s;
   os << "\nregistered adversaries:";
   for (const std::string& n : sim::policy_names()) os << " " << n;
   os << "\n";
@@ -235,6 +240,20 @@ inline int run_main(int argc, char** argv) {
   if (out_path.empty()) {
     emit(std::cout, opts.format, reports);
   } else {
+    // Create the parent directory if it does not exist: "--out dir/f.json"
+    // into a fresh checkout (the CI artifact path) must not die on a
+    // missing directory, and when creation itself fails the message must
+    // name the directory, not just the file.
+    std::filesystem::path parent = std::filesystem::path(out_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+      if (ec) {
+        std::cerr << "bench_runner: cannot create output directory "
+                  << parent.string() << ": " << ec.message() << "\n";
+        return 1;
+      }
+    }
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "bench_runner: cannot open " << out_path << "\n";

@@ -1,0 +1,104 @@
+// Service-layer factory: the registry seam's third object kind (ISSUE 7).
+// A service key names a scheduling discipline plus the backing queues it
+// multiplexes: "dwrr:<nqueues>:<backing-queue-key>" builds a
+// svc::ServiceFacade over <nqueues> tenant queues, each constructed through
+// make_queue with <backing-queue-key> — so "dwrr:8:ubq",
+// "dwrr:4:bounded:g=8" and "dwrr:16:faaq" all work, and a new backing queue
+// is automatically a valid service backing the day it is registered. Key
+// parsing is strict and loud in the parse_bounded_key style: malformed
+// spellings throw with the expected shape spelled out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/queue_registry.hpp"
+#include "svc/service.hpp"
+
+namespace wfq::api {
+
+/// Parsed "dwrr:<nqueues>:<backing-queue-key>" service key.
+struct ServiceKey {
+  int ntenants = 0;
+  std::string backing;
+};
+
+/// Registered service-key shapes, for usage lines and error messages (the
+/// service side of queue_names / vector_names).
+inline std::vector<std::string> service_names() {
+  return {"dwrr:<nqueues>:<backing-queue-key>"};
+}
+
+/// Parses a service key. Returns nullopt for names that are not service
+/// keys at all (so kind-agnostic callers can fall through to the queue /
+/// vector registries); malformed dwrr keys throw. The backing key is
+/// everything after the second colon, so parameterized backings like
+/// "dwrr:4:bounded:g=8" parse naturally; the backing is validated against
+/// the queue registry here (vectors have no dequeue to service).
+inline std::optional<ServiceKey> parse_service_key(const std::string& name) {
+  if (name.rfind("dwrr", 0) != 0) return std::nullopt;
+  const std::string want =
+      "want \"dwrr:<nqueues>:<backing-queue-key>\" with 1 <= nqueues <= 4096 "
+      "and a registered backing queue key (e.g. \"dwrr:8:ubq\", "
+      "\"dwrr:4:bounded:g=8\")";
+  if (name.size() > 4 && name[4] != ':')
+    return std::nullopt;  // some other name that merely starts with "dwrr"
+  if (name.size() <= 5)   // "dwrr" or "dwrr:"
+    throw std::invalid_argument("api::make_service: bad service key \"" +
+                                name + "\"; " + want);
+  size_t second = name.find(':', 5);
+  std::string digits =
+      second == std::string::npos ? name.substr(5) : name.substr(5, second - 5);
+  bool shape_ok = !digits.empty();
+  for (char c : digits)
+    if (c < '0' || c > '9') shape_ok = false;
+  if (!shape_ok || second == std::string::npos ||
+      second + 1 >= name.size())  // "dwrr:4", "dwrr:4:", "dwrr:-1:ubq", ...
+    throw std::invalid_argument("api::make_service: bad service key \"" +
+                                name + "\"; " + want);
+  long long n = 0;
+  try {
+    n = std::stoll(digits);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("api::make_service: bad tenant count in \"" +
+                                name + "\"; " + want);
+  }
+  if (n < 1 || n > 4096)
+    throw std::invalid_argument("api::make_service: tenant count " + digits +
+                                " in \"" + name + "\" is out of range; " +
+                                want);
+  std::string backing = name.substr(second + 1);
+  // Loud backing validation: unknown names, vector names and parameterized
+  // spellings of non-parameterized queues all get queue_info's errors, with
+  // this key quoted so the caller sees which layer rejected what.
+  try {
+    (void)queue_info(backing);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("api::make_service: bad backing queue in \"" +
+                                name + "\": " + e.what());
+  }
+  return ServiceKey{static_cast<int>(n), backing};
+}
+
+/// Builds a fresh service facade by key; throws std::invalid_argument on
+/// unknown or malformed keys. cfg applies to every backing queue (procs,
+/// backend, capacity, gc_period all pass through make_queue unchanged).
+template <typename T>
+svc::ServiceFacade<T> make_service(const std::string& name,
+                                   const QueueConfig& cfg,
+                                   int64_t quantum_base = 1) {
+  std::optional<ServiceKey> key = parse_service_key(name);
+  if (!key) {
+    std::string names;
+    for (const std::string& s : service_names()) names += " " + s;
+    throw std::invalid_argument("api::make_service: unknown service \"" +
+                                name + "\"; known:" + names);
+  }
+  return svc::ServiceFacade<T>(key->ntenants, key->backing, cfg,
+                               quantum_base);
+}
+
+}  // namespace wfq::api

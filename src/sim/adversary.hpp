@@ -15,6 +15,10 @@
 //                      its CAS while everyone else runs, so the parked
 //                      refresher's install CAS loses and its caller must
 //                      take the second-Refresh path (see StallRefreshPolicy).
+//   "bursty:<on>:<off>" bursty-arrival schedule: each scheduled process runs
+//                      `on` consecutive steps then cools down for `off`
+//                      steps (E13's arrival pattern under exact step
+//                      accounting; see BurstyPolicy).
 #pragma once
 
 #include <cstdint>
@@ -169,9 +173,66 @@ class StallRefreshPolicy : public SchedulingPolicy {
   uint64_t stall_left_ = 0;
 };
 
+/// Bursty-arrival schedule (ISSUE 7: the E13 QoS family's arrival pattern,
+/// run under exact step accounting): the scheduled process keeps the
+/// processor for a burst of `on` consecutive steps, then is parked for
+/// `off` steps of cooldown before it becomes eligible again. Eligible
+/// runnable processes are picked round-robin; when every runnable process
+/// is cooling down, the one whose cooldown expires first runs early (lowest
+/// pid on ties), so the schedule stays work-conserving and every workload
+/// terminates. `bursty:1:0` degenerates to round-robin.
+class BurstyPolicy : public SchedulingPolicy {
+ public:
+  BurstyPolicy(uint64_t on, uint64_t off) : on_(on), off_(off) {
+    if (on < 1)
+      throw std::invalid_argument(
+          "sim::BurstyPolicy: burst length must be >= 1");
+  }
+
+  int pick(const std::vector<char>& runnable, uint64_t step) override {
+    const int n = static_cast<int>(runnable.size());
+    if (eligible_at_.size() < runnable.size())
+      eligible_at_.resize(runnable.size(), 0);
+
+    // Continue the current burst while its owner can still run.
+    if (cur_ >= 0 && burst_left_ > 0 && runnable[static_cast<size_t>(cur_)]) {
+      --burst_left_;
+      return cur_;
+    }
+    // Burst over (or owner finished): start its cooldown.
+    if (cur_ >= 0) eligible_at_[static_cast<size_t>(cur_)] = step + off_;
+
+    // Round-robin among eligible runnable processes; else the runnable
+    // process closest to eligibility (lowest pid ties) runs early.
+    int next = -1;
+    for (int k = 1; k <= n; ++k) {
+      int c = (cur_ + k + n) % n;
+      if (!runnable[static_cast<size_t>(c)]) continue;
+      if (eligible_at_[static_cast<size_t>(c)] <= step) {
+        next = c;
+        break;
+      }
+      if (next < 0 || eligible_at_[static_cast<size_t>(c)] <
+                          eligible_at_[static_cast<size_t>(next)])
+        next = c;
+    }
+    cur_ = next;
+    burst_left_ = on_ - 1;  // this pick consumes the burst's first step
+    return next;
+  }
+
+ private:
+  uint64_t on_;
+  uint64_t off_;
+  int cur_ = -1;             // owner of the in-progress burst
+  uint64_t burst_left_ = 0;  // steps left in the current burst
+  std::vector<uint64_t> eligible_at_;
+};
+
 /// Spec strings accepted by make_policy, for --help output and docs.
 inline std::vector<std::string> policy_names() {
-  return {"round-robin", "random:<seed>", "anti-faa", "stall-refresh"};
+  return {"round-robin", "random:<seed>", "anti-faa", "stall-refresh",
+          "bursty:<on>:<off>"};
 }
 
 /// Builds a fresh policy from its spec string; throws std::invalid_argument
@@ -208,6 +269,44 @@ inline std::unique_ptr<SchedulingPolicy> make_policy(const std::string& spec) {
           "sim::make_policy: \"random:0\" is invalid — seed 0 is the "
           "xorshift64* fixed point; use any seed >= 1");
     return std::make_unique<RandomPolicy>(seed);
+  }
+  if (spec.rfind("bursty", 0) == 0) {
+    const std::string want =
+        "want \"bursty:<on>:<off>\" with on >= 1 (burst length, in steps) "
+        "and off >= 0 (cooldown steps)";
+    size_t first = spec.find(':');
+    size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : spec.find(':', first + 1);
+    if (first != 6 || second == std::string::npos)
+      throw std::invalid_argument("sim::make_policy: bad bursty spec \"" +
+                                  spec + "\"; " + want);
+    std::string on_s = spec.substr(7, second - 7);
+    std::string off_s = spec.substr(second + 1);
+    // All-digits checks first, the random:<seed> idiom: stoull would
+    // silently wrap "bursty:-1:5" and accept trailing junk.
+    auto all_digits = [](const std::string& s) {
+      if (s.empty()) return false;
+      for (char c : s)
+        if (c < '0' || c > '9') return false;
+      return true;
+    };
+    uint64_t on = 0, off = 0;
+    try {
+      if (!all_digits(on_s) || !all_digits(off_s))
+        throw std::invalid_argument(spec);
+      on = std::stoull(on_s);
+      off = std::stoull(off_s);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("sim::make_policy: bad burst lengths in \"" +
+                                  spec + "\"; " + want);
+    }
+    if (on == 0)
+      throw std::invalid_argument(
+          "sim::make_policy: burst length 0 in \"" + spec +
+          "\" is invalid (a process must run at least one step per burst); " +
+          want);
+    return std::make_unique<BurstyPolicy>(on, off);
   }
   std::string names;
   for (const std::string& n : policy_names()) names += " " + n;

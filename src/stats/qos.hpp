@@ -1,0 +1,46 @@
+// QoS metrics for the multi-tenant service layer (ISSUE 7): Jain's fairness
+// index over per-tenant throughput samples and a nearest-rank percentile
+// helper for the per-tenant latency distributions E13b reports. Kept apart
+// from summary.hpp because these are fairness/latency aggregates, not the
+// generic distribution summaries the step-shape experiments use.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace wfq::stats {
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over per-tenant
+/// allocations: 1.0 when every tenant gets the same share, 1/n when one
+/// tenant gets everything. Empty input and all-zero input both read 1.0 —
+/// with nothing allocated there is no tenant being favored over another
+/// (the conventional "equally (un)served" reading), and E13a's sweeps must
+/// not divide by zero on a row where no service happened.
+inline double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0, sumsq = 0;
+  for (double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sumsq);
+}
+
+/// Nearest-rank percentile, the same convention as stats::summarize: the
+/// value at rank ceil(q/100 * n), 1-based, over the sorted sample. q is
+/// clamped to [0, 100] (q = 0 reads the minimum, q = 100 the maximum);
+/// empty input reads 0 like the Summary zeros.
+inline double percentile(const std::vector<double>& xs, double q) {
+  if (xs.empty()) return 0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::min(100.0, std::max(0.0, q));
+  size_t n = sorted.size();
+  size_t r = static_cast<size_t>(std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (r == 0) r = 1;
+  return sorted[std::min(r, n) - 1];
+}
+
+}  // namespace wfq::stats

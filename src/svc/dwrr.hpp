@@ -1,0 +1,238 @@
+// Deficit-weighted-round-robin service scheduler over N tenant queues
+// (ISSUE 7 tentpole; structure in the spirit of MQ-ECN's dwrr.cc, SNIPPETS
+// §1: active list, per-queue quantum, round-time estimate — reshaped from a
+// packet switch into a dequeue-service loop over registry-built wait-free
+// queues).
+//
+// Model: any number of producer threads enqueue through the facade into
+// per-tenant backing queues; ONE servicing thread calls service_next(),
+// which drains tenants in deficit-weighted round-robin order: each visit
+// grants the front tenant a quantum of weight * quantum_base item-costs,
+// the tenant is served until its deficit runs out (rotate to tail, deficit
+// carries) or its queue goes empty (deactivate, deficit resets — an empty
+// queue must not bank credit, the classic DWRR rule).
+//
+// Activation protocol (the producer/servicer seam): a producer that takes a
+// tenant's `active` flag false->true pushes the tenant onto a Treiber stack
+// of ids; the servicer drains that stack (reversed, so activation order is
+// enqueue order) into the tail of its ring. Deactivation stores
+// active=false and then RE-CHECKS the pending count — a producer that saw
+// active==true while the servicer was concurrently deactivating did not
+// push, so the servicer must claim the flag back and re-activate, or the
+// tenant's items would strand. `enqueued` is incremented only after the
+// backing enqueue completed, so pending > 0 guarantees a fresh dequeue
+// observes a value (only the servicer removes items) — an empty dequeue
+// with pending > 0 is a stale read and is simply retried.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/tenant_map.hpp"
+
+namespace wfq::svc {
+
+/// One serviced item: which tenant it came from plus the value.
+template <typename T>
+struct Serviced {
+  int tenant = -1;
+  T value{};
+};
+
+template <typename T>
+class DwrrScheduler {
+ public:
+  /// Cost of one item in deficit units. Message queues serve whole items,
+  /// so the packet-length byte accounting of the network DWRR collapses to
+  /// unit cost; quantum_base scales how many items a weight-1 tenant may
+  /// drain per round.
+  static constexpr int64_t kCostPerItem = 1;
+
+  explicit DwrrScheduler(TenantMap<T>& map, int64_t quantum_base = 1)
+      : map_(map),
+        quantum_base_(quantum_base),
+        act_next_(static_cast<size_t>(map.size())) {
+    if (quantum_base < 1)
+      throw std::invalid_argument(
+          "svc::DwrrScheduler: quantum_base must be >= 1 (got " +
+          std::to_string(quantum_base) + ")");
+    for (auto& a : act_next_) a.store(kNone, std::memory_order_relaxed);
+  }
+
+  DwrrScheduler(const DwrrScheduler&) = delete;
+  DwrrScheduler& operator=(const DwrrScheduler&) = delete;
+
+  /// Producer side: called after the tenant's `enqueued` counter was bumped
+  /// (which itself happens after the backing enqueue completed). Claims the
+  /// active flag; the loser of the exchange does nothing — the tenant is
+  /// already in the ring or on the activation stack.
+  void notify_enqueue(int t) {
+    TenantEntry<T>& e = map_.entry(t);
+    if (!e.active.exchange(true, std::memory_order_acq_rel))
+      push_activation(t);
+  }
+
+  /// Servicer side (single thread): the next item under DWRR order, or
+  /// nullopt when no tenant has serviceable backlog. `pid` is the process
+  /// slot the servicing thread binds on each backing queue.
+  std::optional<Serviced<T>> service_next(int pid) {
+    drain_activations();
+    while (!ring_.empty()) {
+      int t = ring_.front();
+      TenantEntry<T>& e = map_.entry(t);
+      if (!front_visited_) begin_visit(t, e);
+      if (e.deficit >= kCostPerItem) {
+        std::optional<T> v = dequeue_retry(e, pid);
+        if (v.has_value()) {
+          e.deficit -= kCostPerItem;
+          ++e.serviced;
+          ++serviced_this_round_;
+          // End the visit eagerly: drain to empty deactivates, a spent
+          // quantum rotates NOW (not lazily on the next call) so tenants
+          // activated between calls join the ring behind the rotation —
+          // ring order stays activation order, the property the sequential
+          // differential vs the reference round-robin model pins down.
+          if (pending(e) == 0)
+            deactivate_front(t, e);
+          else if (e.deficit < kCostPerItem)
+            rotate_front();
+          return Serviced<T>{t, std::move(*v)};
+        }
+        deactivate_front(t, e);  // observably empty: deficit must not bank
+        continue;
+      }
+      rotate_front();  // quantum spent; remaining deficit carries over
+    }
+    return std::nullopt;
+  }
+
+  /// Completed ring rotations (a round ends when the marker tenant — the
+  /// ring front when the round began — is granted its next quantum).
+  uint64_t rounds() const { return rounds_; }
+
+  /// EWMA (alpha = 0.75, the MQ-ECN estimate_round_alpha_ idiom) of items
+  /// serviced per completed round — the service layer's round-time
+  /// estimate, in item units rather than the switch's bytes.
+  double round_service_estimate() const { return round_estimate_; }
+
+ private:
+  static constexpr int kNone = -1;
+
+  int64_t quantum(const TenantEntry<T>& e) const {
+    return quantum_base_ *
+           static_cast<int64_t>(e.weight.load(std::memory_order_relaxed));
+  }
+
+  /// Completed-but-unserviced items. `enqueued` is incremented after its
+  /// enqueue returned; `serviced` is this thread's own field.
+  uint64_t pending(const TenantEntry<T>& e) const {
+    return e.enqueued.load(std::memory_order_acquire) - e.serviced;
+  }
+
+  /// Dequeue that distinguishes "observably empty" from "a producer's
+  /// completed enqueue raced past my attempt": with pending > 0 the item is
+  /// committed and only this thread dequeues, so one retry finds it.
+  std::optional<T> dequeue_retry(TenantEntry<T>& e, int pid) {
+    e.queue.bind_thread(pid);
+    for (;;) {
+      std::optional<T> v = e.queue.dequeue();
+      if (v.has_value() || pending(e) == 0) return v;
+    }
+  }
+
+  void begin_visit(int t, TenantEntry<T>& e) {
+    front_visited_ = true;
+    e.deficit += quantum(e);
+    if (t == round_marker_) {
+      // The round marker came back around: one full rotation completed.
+      round_estimate_ = rounds_ == 0
+                            ? static_cast<double>(serviced_this_round_)
+                            : 0.75 * round_estimate_ +
+                                  0.25 * static_cast<double>(
+                                             serviced_this_round_);
+      serviced_this_round_ = 0;
+      ++rounds_;
+    } else if (round_marker_ == kNone) {
+      round_marker_ = t;  // ring was empty (or marker deactivated): new round
+    }
+  }
+
+  void rotate_front() {
+    int t = ring_.front();
+    ring_.pop_front();
+    ring_.push_back(t);
+    front_visited_ = false;
+  }
+
+  void deactivate_front(int t, TenantEntry<T>& e) {
+    ring_.pop_front();
+    front_visited_ = false;
+    e.deficit = 0;
+    if (t == round_marker_) round_marker_ = kNone;
+    e.active.store(false, std::memory_order_release);
+    // Close the deactivation race: a producer that completed an enqueue
+    // between our empty observation and the store above saw active==true
+    // and skipped its push; whoever wins this exchange re-activates.
+    if (pending(e) != 0 && !e.active.exchange(true, std::memory_order_acq_rel))
+      push_activation(t);
+  }
+
+  // --- activation stack (multi-producer Treiber, whole-stack drain) -------
+  // A tenant id is on the stack at most once (guarded by its active flag),
+  // so intrusive next-links per tenant suffice and nothing allocates.
+
+  void push_activation(int t) {
+    int head = act_head_.load(std::memory_order_relaxed);
+    do {
+      act_next_[static_cast<size_t>(t)].store(head,
+                                              std::memory_order_relaxed);
+    } while (!act_head_.compare_exchange_weak(head, t,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed));
+  }
+
+  void drain_activations() {
+    int head = act_head_.exchange(kNone, std::memory_order_acq_rel);
+    if (head == kNone) return;
+    // Pushes are LIFO; reverse so tenants join the ring in activation
+    // (enqueue) order — what makes single-threaded histories match the
+    // reference round-robin model exactly.
+    int rev = kNone;
+    while (head != kNone) {
+      int nxt = act_next_[static_cast<size_t>(head)].load(
+          std::memory_order_relaxed);
+      act_next_[static_cast<size_t>(head)].store(rev,
+                                                 std::memory_order_relaxed);
+      rev = head;
+      head = nxt;
+    }
+    while (rev != kNone) {
+      ring_.push_back(rev);
+      rev = act_next_[static_cast<size_t>(rev)].load(
+          std::memory_order_relaxed);
+    }
+  }
+
+  TenantMap<T>& map_;
+  int64_t quantum_base_;
+
+  // Servicer-owned DWRR state.
+  std::deque<int> ring_;        // active tenants, service order
+  bool front_visited_ = false;  // has the current front received its quantum
+  int round_marker_ = kNone;    // ring front when the current round began
+  uint64_t rounds_ = 0;
+  uint64_t serviced_this_round_ = 0;
+  double round_estimate_ = 0;
+
+  // Producer-shared activation stack.
+  std::atomic<int> act_head_{kNone};
+  std::vector<std::atomic<int>> act_next_;
+};
+
+}  // namespace wfq::svc

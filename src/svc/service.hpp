@@ -1,0 +1,96 @@
+// ServiceFacade: the one object E13 and user code talk to — owns the
+// TenantMap and the DwrrScheduler, exposes enqueue(tenant, v) /
+// service_next() plus per-tenant counters. Producers and the servicer
+// first bind_thread(pid) like on any registry object; the facade re-binds
+// the backing queues lazily on each call because one logical tenant queue
+// is touched by many threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "svc/dwrr.hpp"
+#include "svc/tenant_map.hpp"
+
+namespace wfq::svc {
+
+template <typename T>
+class ServiceFacade {
+ public:
+  ServiceFacade(int ntenants, const std::string& backing_key,
+                const api::QueueConfig& cfg, int64_t quantum_base = 1)
+      : map_(std::make_unique<TenantMap<T>>(ntenants, backing_key, cfg)),
+        sched_(std::make_unique<DwrrScheduler<T>>(*map_, quantum_base)) {}
+
+  // Movable (unique_ptr members keep the scheduler's reference into the
+  // map valid across moves), not copyable.
+  ServiceFacade(ServiceFacade&&) noexcept = default;
+  ServiceFacade& operator=(ServiceFacade&&) noexcept = default;
+
+  /// Bind the calling thread to a process slot, like AnyQueue::bind_thread;
+  /// the slot is forwarded to every backing-queue op this thread performs.
+  void bind_thread(int pid) { bound_pid() = pid; }
+
+  /// Producer op: enqueue v for `tenant`. The order here is the whole
+  /// correctness story — backing enqueue, then the completed-enqueue
+  /// counter, then activation (see dwrr.hpp's header comment).
+  void enqueue(int tenant, T v) {
+    TenantEntry<T>& e = map_->entry(tenant);
+    e.queue.bind_thread(bound_pid());
+    e.queue.enqueue(std::move(v));
+    e.enqueued.fetch_add(1, std::memory_order_release);
+    sched_->notify_enqueue(tenant);
+  }
+
+  /// Servicer op (single thread): next item in DWRR order.
+  std::optional<Serviced<T>> service_next() {
+    return sched_->service_next(bound_pid());
+  }
+
+  void set_weight(int tenant, uint32_t w) { map_->set_weight(tenant, w); }
+
+  int tenants() const { return map_->size(); }
+  const std::string& backing() const { return map_->backing(); }
+
+  struct TenantStats {
+    uint32_t weight = 1;
+    uint64_t enqueued = 0;
+    uint64_t serviced = 0;
+    int64_t deficit = 0;
+    bool active = false;
+  };
+
+  /// Snapshot of one tenant's counters. Exact when the servicer is quiesced
+  /// (how the tests read it); a monotone under-estimate mid-flight.
+  TenantStats tenant_stats(int tenant) const {
+    const TenantEntry<T>& e = map_->entry(tenant);
+    return TenantStats{e.weight.load(std::memory_order_relaxed),
+                       e.enqueued.load(std::memory_order_acquire), e.serviced,
+                       e.deficit, e.active.load(std::memory_order_acquire)};
+  }
+
+  uint64_t total_serviced() const {
+    uint64_t total = 0;
+    for (int t = 0; t < map_->size(); ++t) total += map_->entry(t).serviced;
+    return total;
+  }
+
+  uint64_t rounds() const { return sched_->rounds(); }
+  double round_service_estimate() const {
+    return sched_->round_service_estimate();
+  }
+
+ private:
+  static int& bound_pid() {
+    static thread_local int pid = 0;
+    return pid;
+  }
+
+  std::unique_ptr<TenantMap<T>> map_;
+  std::unique_ptr<DwrrScheduler<T>> sched_;
+};
+
+}  // namespace wfq::svc

@@ -35,12 +35,13 @@ using wfq::api::AnyVector;
 using wfq::api::Backend;
 using wfq::api::QueueConfig;
 
-/// Every registered adversary family, as swept below. stall-refresh is the
-/// newest: it parks a process right before its pending CAS, so the
-/// double-Refresh "both CASes lost" argument is exercised constantly
-/// instead of almost never.
+/// Every registered adversary family, as swept below. stall-refresh parks a
+/// process right before its pending CAS, so the double-Refresh "both CASes
+/// lost" argument is exercised constantly instead of almost never; bursty
+/// is the E13 QoS family's bursty-arrival schedule (long exclusive runs
+/// with cooldowns).
 const char* kAdversaries[] = {"round-robin", "random:77", "anti-faa",
-                              "stall-refresh"};
+                              "stall-refresh", "bursty:3:7"};
 
 /// (a) Randomized differential test against std::queue: single-threaded
 /// mixed history with ops issued from rotating bound pids must match the

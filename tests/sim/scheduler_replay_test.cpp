@@ -93,6 +93,50 @@ void factory_and_seed_handling() {
   CHECK(af1 == af2);
 }
 
+/// The bursty:<on>:<off> adversary (ISSUE 7): strict spec parsing in the
+/// random:<seed> style, deterministic replay, and the burst structure
+/// itself — the trace opens with `on` consecutive steps of one pid.
+void bursty_policy() {
+  // Malformed spellings are loud errors, never silent defaults.
+  CHECK(make_policy_throws("bursty"));        // both lengths required
+  CHECK(make_policy_throws("bursty:"));       // ditto
+  CHECK(make_policy_throws("bursty:3"));      // off is required
+  CHECK(make_policy_throws("bursty:3:"));     // empty off
+  CHECK(make_policy_throws("bursty::5"));     // empty on
+  CHECK(make_policy_throws("bursty:0:5"));    // zero-length burst
+  CHECK(make_policy_throws("bursty:a:5"));    // non-numeric on
+  CHECK(make_policy_throws("bursty:3:b"));    // non-numeric off
+  CHECK(make_policy_throws("bursty:3:5:7"));  // trailing field
+  CHECK(make_policy_throws("bursty:-1:5"));   // stoull would wrap
+  CHECK(make_policy_throws("bursty:3x:5"));   // trailing garbage in on
+
+  // off = 0 is legal (bursts with no cooldown); ctor-level on = 0 throws
+  // like the spec-level spelling.
+  CHECK(!make_policy_throws("bursty:1:0"));
+  bool ctor_threw = false;
+  try {
+    wfq::sim::BurstyPolicy p(0, 5);
+  } catch (const std::invalid_argument&) {
+    ctor_threw = true;
+  }
+  CHECK(ctor_threw);
+
+  // Deterministic replay; different burst shapes give different schedules.
+  auto b1 = run_workload(wfq::sim::make_policy("bursty:3:5"));
+  auto b2 = run_workload(wfq::sim::make_policy("bursty:3:5"));
+  CHECK(!b1.empty());
+  CHECK(b1 == b2);
+  CHECK(b1 != run_workload(wfq::sim::make_policy("bursty:4:5")));
+
+  // Burst structure: with on=4 the trace starts with 4 steps of one pid,
+  // then switches to a different one.
+  auto b4 = run_workload(wfq::sim::make_policy("bursty:4:0"));
+  CHECK(b4.size() > 5);
+  for (int i = 1; i < 4; ++i)
+    CHECK_EQ(b4[static_cast<size_t>(i)], b4[0]);
+  CHECK(b4[4] != b4[0]);
+}
+
 }  // namespace
 
 int main() {
@@ -116,6 +160,7 @@ int main() {
   for (int i = 0; i < 6; ++i) CHECK_EQ(rr1[static_cast<size_t>(i)], i);
 
   factory_and_seed_handling();
+  bursty_policy();
 
   return wfq::test::exit_code();
 }

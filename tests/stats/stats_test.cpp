@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/qos.hpp"
 #include "stats/shape.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
@@ -165,6 +166,38 @@ void test_table_alignment() {
   CHECK_EQ(lines[0].find("steps/op") + 8, lines[2].find("10.25") + 5);
 }
 
+// QoS helpers for the E13 family (ISSUE 7 satellite): Jain's index and the
+// nearest-rank percentile, including the degenerate inputs the experiment
+// sweeps can produce.
+void test_qos() {
+  using wfq::stats::jain_index;
+  using wfq::stats::percentile;
+  // Jain: empty and single-tenant inputs read 1.0 (nothing to be unfair
+  // about), as does any all-equal allocation.
+  CHECK(near(jain_index({}), 1.0));
+  CHECK(near(jain_index({5.0}), 1.0));
+  CHECK(near(jain_index({3.0, 3.0, 3.0}), 1.0));
+  CHECK(near(jain_index({0.0, 0.0}), 1.0));  // all-zero: no division blowup
+  // One tenant hogging everything reads 1/n.
+  CHECK(near(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25));
+  // Hand-computed mixed case: (1+2+3+4)^2 / (4 * 30) = 100/120.
+  CHECK(near(jain_index({1.0, 2.0, 3.0, 4.0}), 100.0 / 120.0));
+
+  // Percentile: empty reads 0, single sample is every percentile.
+  CHECK(near(percentile({}, 99), 0.0));
+  CHECK(near(percentile({7.0}, 0), 7.0));
+  CHECK(near(percentile({7.0}, 100), 7.0));
+  // Nearest-rank over 1..100 matches stats::summarize's convention, and the
+  // input need not be sorted.
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);
+  CHECK(near(percentile(xs, 50), 50.0));
+  CHECK(near(percentile(xs, 99), 99.0));
+  CHECK(near(percentile(xs, 100), 100.0));
+  CHECK(near(percentile(xs, 0), 1.0));    // q=0 clamps to the minimum
+  CHECK(near(percentile(xs, 150), 100.0));  // out-of-range q clamps
+}
+
 }  // namespace
 
 int main() {
@@ -174,5 +207,6 @@ int main() {
   test_fit_shape();
   test_fmt();
   test_table_alignment();
+  test_qos();
   return wfq::test::exit_code();
 }

@@ -1,0 +1,338 @@
+// Tier-1 tests for the multi-tenant QoS subsystem (ISSUE 7): DWRR
+// quantum/deficit accounting, activation/deactivation, a sequential
+// differential against a reference round-robin model, deterministic service
+// order under the sim scheduler, service-key parsing, and the ZipfTraffic
+// generator.
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/service_registry.hpp"
+#include "sim/adversary.hpp"
+#include "sim/scheduler.hpp"
+#include "svc/tenant_map.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wfq;
+
+svc::ServiceFacade<uint64_t> make(const std::string& key, int procs = 1) {
+  api::QueueConfig cfg;
+  cfg.procs = procs;
+  return api::make_service<uint64_t>(key, cfg);
+}
+
+// --- quantum/deficit accounting ---------------------------------------------
+// Two backlogged tenants, weights 1 and 2: each DWRR round serves one item
+// from tenant 0 and two from tenant 1, so after any whole number of rounds
+// the service counts split exactly 1:2 — and the per-round service ORDER is
+// 0,1,1 (tenant 0 activated first).
+void test_weighted_accounting() {
+  auto s = make("dwrr:2:ubq");
+  s.bind_thread(0);
+  s.set_weight(1, 2);
+  for (uint64_t i = 0; i < 300; ++i) {
+    s.enqueue(0, i);
+    s.enqueue(1, 1000 + i);
+  }
+  std::vector<int> order;
+  for (int k = 0; k < 90; ++k) {
+    auto got = s.service_next();
+    CHECK(got.has_value());
+    order.push_back(got->tenant);
+  }
+  CHECK_EQ(s.tenant_stats(0).serviced, 30u);
+  CHECK_EQ(s.tenant_stats(1).serviced, 60u);
+  const int expect[9] = {0, 1, 1, 0, 1, 1, 0, 1, 1};
+  for (int k = 0; k < 9; ++k) CHECK_EQ(order[static_cast<size_t>(k)], expect[k]);
+  // FIFO within a tenant: values come back in enqueue order.
+  // (spot-check via another 3 services: values continue 30.., 1060..)
+  auto a = s.service_next();
+  CHECK(a.has_value() && a->tenant == 0 && a->value == 30);
+  // Round bookkeeping: 30 completed rounds of ~3 items each.
+  CHECK(s.rounds() >= 29 && s.rounds() <= 31);
+  CHECK(s.round_service_estimate() > 2.5 && s.round_service_estimate() < 3.5);
+}
+
+// --- empty-queue deactivation and reactivation ------------------------------
+void test_deactivation_reactivation() {
+  auto s = make("dwrr:3:ubq");
+  s.bind_thread(0);
+  s.enqueue(1, 11);
+  CHECK(s.tenant_stats(1).active);
+  CHECK(!s.tenant_stats(0).active);
+  auto got = s.service_next();
+  CHECK(got.has_value() && got->tenant == 1 && got->value == 11);
+  // Drained on service: the tenant left the ring and its deficit reset.
+  CHECK(!s.tenant_stats(1).active);
+  CHECK_EQ(s.tenant_stats(1).deficit, int64_t{0});
+  CHECK(!s.service_next().has_value());
+  // Re-enqueue reactivates; service works again.
+  s.enqueue(1, 12);
+  CHECK(s.tenant_stats(1).active);
+  got = s.service_next();
+  CHECK(got.has_value() && got->tenant == 1 && got->value == 12);
+  CHECK(!s.service_next().has_value());
+  CHECK_EQ(s.total_serviced(), 2u);
+}
+
+// --- sequential differential vs a reference round-robin model ---------------
+// Equal weights + quantum_base 1 make DWRR equivalent to plain round-robin
+// over the active tenants (activation order = first-enqueue order, a served
+// tenant that stays backlogged rotates to the tail). The model: per-tenant
+// FIFO queues plus an active list with exactly those rules.
+struct RrModel {
+  std::vector<std::queue<uint64_t>> qs;
+  std::deque<int> active;
+
+  explicit RrModel(int n) : qs(static_cast<size_t>(n)) {}
+
+  void enqueue(int t, uint64_t v) {
+    if (qs[static_cast<size_t>(t)].empty()) {
+      bool in = false;
+      for (int a : active) in |= (a == t);
+      if (!in) active.push_back(t);
+    }
+    qs[static_cast<size_t>(t)].push(v);
+  }
+
+  std::optional<std::pair<int, uint64_t>> service() {
+    if (active.empty()) return std::nullopt;
+    int t = active.front();
+    active.pop_front();
+    uint64_t v = qs[static_cast<size_t>(t)].front();
+    qs[static_cast<size_t>(t)].pop();
+    if (!qs[static_cast<size_t>(t)].empty()) active.push_back(t);
+    return std::make_pair(t, v);
+  }
+};
+
+void test_differential_vs_rr_model() {
+  const int n = 5;
+  auto s = make("dwrr:5:ubq");
+  s.bind_thread(0);
+  RrModel model(n);
+  // Deterministic op mix: ~2/3 enqueues (xorshift64*), interleaved with
+  // services; then a full drain. Every service must match the model.
+  uint64_t state = 42;
+  auto rnd = [&] {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+  };
+  uint64_t next_val = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (rnd() % 3 != 0) {
+      int t = static_cast<int>(rnd() % n);
+      s.enqueue(t, next_val);
+      model.enqueue(t, next_val);
+      ++next_val;
+    } else {
+      auto got = s.service_next();
+      auto want = model.service();
+      CHECK_EQ(got.has_value(), want.has_value());
+      if (got && want) {
+        CHECK_EQ(got->tenant, want->first);
+        CHECK_EQ(got->value, want->second);
+      }
+    }
+  }
+  for (;;) {
+    auto got = s.service_next();
+    auto want = model.service();
+    CHECK_EQ(got.has_value(), want.has_value());
+    if (!got || !want) break;
+    CHECK_EQ(got->tenant, want->first);
+    CHECK_EQ(got->value, want->second);
+  }
+  CHECK_EQ(s.total_serviced(), next_val);
+}
+
+// --- deterministic service order under the sim scheduler --------------------
+// Concurrent producers + one servicer under a seeded random policy: the
+// exact service sequence is a function of the schedule only, so two runs
+// with the same seed must produce identical sequences.
+std::vector<std::pair<int, uint64_t>> sim_service_sequence(uint64_t seed) {
+  const int producers = 3;
+  const int64_t K = 40;
+  api::QueueConfig cfg;
+  cfg.procs = producers + 1;
+  cfg.backend = api::Backend::sim;
+  auto s = api::make_service<uint64_t>("dwrr:3:ubq", cfg);
+  std::vector<std::pair<int, uint64_t>> seq;
+  sim::Scheduler sched(
+      std::make_unique<sim::RandomPolicy>(seed));
+  std::vector<std::function<void()>> bodies;
+  for (int t = 0; t < producers; ++t) {
+    bodies.emplace_back([&s, t] {
+      s.bind_thread(t);
+      for (int64_t k = 0; k < K; ++k)
+        s.enqueue(t, static_cast<uint64_t>(k));
+    });
+  }
+  bodies.emplace_back([&] {
+    s.bind_thread(producers);
+    int64_t got = 0;
+    while (got < producers * K) {
+      auto item = s.service_next();
+      if (!item) {
+        // The facade's empty-ring path touches no counted shared memory;
+        // yield explicitly or the servicer would hold the baton forever.
+        sim::Scheduler::yield_point(sim::StepKind::load);
+        continue;
+      }
+      seq.emplace_back(item->tenant, item->value);
+      ++got;
+    }
+  });
+  sched.run(std::move(bodies));
+  return seq;
+}
+
+void test_sim_deterministic_order() {
+  auto a = sim_service_sequence(5);
+  auto b = sim_service_sequence(5);
+  CHECK_EQ(a.size(), size_t{120});
+  CHECK(a == b);
+  // Per-tenant FIFO held under the concurrent schedule too.
+  uint64_t next_per_tenant[3] = {0, 0, 0};
+  for (auto& [t, v] : a) CHECK_EQ(v, next_per_tenant[t]++);
+  // A different seed produces a different interleaving (overwhelmingly).
+  auto c = sim_service_sequence(6);
+  CHECK(a != c);
+}
+
+// --- service-key parsing -----------------------------------------------------
+void test_service_keys() {
+  auto throws = [](const std::string& key) {
+    try {
+      api::QueueConfig cfg;
+      (void)api::make_service<uint64_t>(key, cfg);
+    } catch (const std::invalid_argument&) {
+      return true;
+    }
+    return false;
+  };
+  // Malformed dwrr keys and bad backings are loud.
+  CHECK(throws("dwrr"));
+  CHECK(throws("dwrr:"));
+  CHECK(throws("dwrr:4"));
+  CHECK(throws("dwrr:4:"));
+  CHECK(throws("dwrr:0:ubq"));
+  CHECK(throws("dwrr:-1:ubq"));
+  CHECK(throws("dwrr:x:ubq"));
+  CHECK(throws("dwrr:4x:ubq"));
+  CHECK(throws("dwrr:5000:ubq"));   // over the 4096 cap
+  CHECK(throws("dwrr:4:nosuch"));   // unknown backing
+  CHECK(throws("dwrr:4:kp:1"));     // parameterized non-parameterized queue
+  CHECK(throws("dwrr:4:wfvec"));    // vectors can't back a service
+  CHECK(throws("nosched:4:ubq"));   // unknown discipline
+  // Non-dwrr names pass through as "not a service key" (nullopt), so the
+  // factory reports unknown-service; parse returns nullopt, not a throw.
+  CHECK(!api::parse_service_key("ubq").has_value());
+  CHECK(!api::parse_service_key("dwrrx").has_value());
+
+  // Good keys build, including a parameterized backing.
+  auto a = make("dwrr:4:ubq");
+  CHECK_EQ(a.tenants(), 4);
+  CHECK_EQ(a.backing(), std::string("ubq"));
+  auto b = make("dwrr:2:bounded:g=4");
+  CHECK_EQ(b.tenants(), 2);
+  CHECK_EQ(b.backing(), std::string("bounded:g=4"));
+  auto c = make("dwrr:1:faaq");
+  c.bind_thread(0);
+  c.enqueue(0, 9);
+  auto got = c.service_next();
+  CHECK(got.has_value() && got->value == 9);
+
+  // Out-of-range tenant ids and zero weights are loud too.
+  bool threw = false;
+  try {
+    a.enqueue(4, 1);
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  CHECK(threw);
+  threw = false;
+  try {
+    a.set_weight(0, 0);
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  CHECK(threw);
+}
+
+// --- ZipfTraffic -------------------------------------------------------------
+void test_zipf_traffic() {
+  // Deterministic: same (n, skew, seed, burst) => same sequence.
+  svc::ZipfTraffic a(8, 1.2, 7, 4), b(8, 1.2, 7, 4);
+  for (int i = 0; i < 200; ++i) CHECK_EQ(a.next(), b.next());
+  // Burst grouping: arrivals come in runs of exactly `burst`.
+  svc::ZipfTraffic c(8, 0.9, 3, 5);
+  for (int i = 0; i < 40; ++i) {
+    int first = c.next();
+    for (int k = 1; k < 5; ++k) CHECK_EQ(c.next(), first);
+  }
+  // Skew orders tenants: with heavy skew, tenant 0 dominates tenant 7.
+  svc::ZipfTraffic d(8, 1.8, 11);
+  int count0 = 0, count7 = 0;
+  for (int i = 0; i < 4000; ++i) {
+    int t = d.next();
+    CHECK(t >= 0 && t < 8);
+    count0 += (t == 0) ? 1 : 0;
+    count7 += (t == 7) ? 1 : 0;
+  }
+  CHECK(count0 > 10 * count7);
+  // Skew 0 is uniform-ish: every tenant shows up with a sane share.
+  svc::ZipfTraffic e(4, 0.0, 13);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[e.next()];
+  for (int t = 0; t < 4; ++t) CHECK(counts[t] > 700 && counts[t] < 1300);
+  // Constructor rejects nonsense.
+  auto ctor_throws = [](auto... args) {
+    try {
+      svc::ZipfTraffic z(args...);
+      (void)z;
+    } catch (const std::invalid_argument&) {
+      return true;
+    }
+    return false;
+  };
+  CHECK(ctor_throws(0, 1.0, uint64_t{1}, 1));
+  CHECK(ctor_throws(4, -0.5, uint64_t{1}, 1));
+  CHECK(ctor_throws(4, 1.0, uint64_t{1}, 0));
+}
+
+// --- round estimate ----------------------------------------------------------
+void test_round_estimate() {
+  auto s = make("dwrr:4:ubq");
+  s.bind_thread(0);
+  for (uint64_t i = 0; i < 200; ++i)
+    for (int t = 0; t < 4; ++t) s.enqueue(t, i);
+  for (int k = 0; k < 160; ++k) CHECK(s.service_next().has_value());
+  // Equal weights, all backlogged: 4 items per round, ~40 rounds.
+  CHECK(s.rounds() >= 38 && s.rounds() <= 41);
+  CHECK(s.round_service_estimate() > 3.5 && s.round_service_estimate() < 4.5);
+}
+
+}  // namespace
+
+int main() {
+  test_weighted_accounting();
+  test_deactivation_reactivation();
+  test_differential_vs_rr_model();
+  test_sim_deterministic_order();
+  test_service_keys();
+  test_zipf_traffic();
+  test_round_estimate();
+  return wfq::test::exit_code();
+}
