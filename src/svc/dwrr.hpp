@@ -19,10 +19,16 @@
 // active=false and then RE-CHECKS the pending count — a producer that saw
 // active==true while the servicer was concurrently deactivating did not
 // push, so the servicer must claim the flag back and re-activate, or the
-// tenant's items would strand. `enqueued` is incremented only after the
-// backing enqueue completed, so pending > 0 guarantees a fresh dequeue
-// observes a value (only the servicer removes items) — an empty dequeue
-// with pending > 0 is a stale read and is simply retried.
+// tenant's items would strand. The store-then-recheck against the
+// producer's increment-then-exchange is Dekker-shaped (the SB litmus: two
+// threads each store then load; release/acquire alone allows BOTH loads to
+// read old values, e.g. on x86 via store-buffer forwarding), so each side
+// puts a seq_cst fence between its store and its load — see the fences in
+// notify_enqueue and deactivate_front; the total fence order guarantees at
+// least one side observes the other's store. `enqueued` is incremented
+// only after the backing enqueue completed, so pending > 0 guarantees a
+// fresh dequeue observes a value (only the servicer removes items) — an
+// empty dequeue with pending > 0 is a stale read and is simply retried.
 #pragma once
 
 #include <atomic>
@@ -74,6 +80,12 @@ class DwrrScheduler {
   /// already in the ring or on the activation stack.
   void notify_enqueue(int t) {
     TenantEntry<T>& e = map_.entry(t);
+    // Producer half of the deactivation handshake (see header comment):
+    // the caller's `enqueued` increment must be globally ordered before
+    // this read of `active`, or this exchange could read a stale true
+    // while the deactivating servicer's pending re-check misses the
+    // increment — neither side activates and the item strands.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (!e.active.exchange(true, std::memory_order_acq_rel))
       push_activation(t);
   }
@@ -87,11 +99,13 @@ class DwrrScheduler {
       int t = ring_.front();
       TenantEntry<T>& e = map_.entry(t);
       if (!front_visited_) begin_visit(t, e);
-      if (e.deficit >= kCostPerItem) {
+      // serviced/deficit are single-writer (this thread): relaxed RMWs are
+      // plain load/op/store pairs, atomic only for stats snapshots.
+      if (e.deficit.load(std::memory_order_relaxed) >= kCostPerItem) {
         std::optional<T> v = dequeue_retry(e, pid);
         if (v.has_value()) {
-          e.deficit -= kCostPerItem;
-          ++e.serviced;
+          e.deficit.fetch_sub(kCostPerItem, std::memory_order_relaxed);
+          e.serviced.fetch_add(1, std::memory_order_relaxed);
           ++serviced_this_round_;
           // End the visit eagerly: drain to empty deactivates, a spent
           // quantum rotates NOW (not lazily on the next call) so tenants
@@ -100,7 +114,7 @@ class DwrrScheduler {
           // differential vs the reference round-robin model pins down.
           if (pending(e) == 0)
             deactivate_front(t, e);
-          else if (e.deficit < kCostPerItem)
+          else if (e.deficit.load(std::memory_order_relaxed) < kCostPerItem)
             rotate_front();
           return Serviced<T>{t, std::move(*v)};
         }
@@ -132,7 +146,8 @@ class DwrrScheduler {
   /// Completed-but-unserviced items. `enqueued` is incremented after its
   /// enqueue returned; `serviced` is this thread's own field.
   uint64_t pending(const TenantEntry<T>& e) const {
-    return e.enqueued.load(std::memory_order_acquire) - e.serviced;
+    return e.enqueued.load(std::memory_order_acquire) -
+           e.serviced.load(std::memory_order_relaxed);
   }
 
   /// Dequeue that distinguishes "observably empty" from "a producer's
@@ -148,7 +163,7 @@ class DwrrScheduler {
 
   void begin_visit(int t, TenantEntry<T>& e) {
     front_visited_ = true;
-    e.deficit += quantum(e);
+    e.deficit.fetch_add(quantum(e), std::memory_order_relaxed);
     if (t == round_marker_) {
       // The round marker came back around: one full rotation completed.
       round_estimate_ = rounds_ == 0
@@ -173,12 +188,17 @@ class DwrrScheduler {
   void deactivate_front(int t, TenantEntry<T>& e) {
     ring_.pop_front();
     front_visited_ = false;
-    e.deficit = 0;
+    e.deficit.store(0, std::memory_order_relaxed);
     if (t == round_marker_) round_marker_ = kNone;
     e.active.store(false, std::memory_order_release);
-    // Close the deactivation race: a producer that completed an enqueue
-    // between our empty observation and the store above saw active==true
-    // and skipped its push; whoever wins this exchange re-activates.
+    // Servicer half of the deactivation handshake: the fence orders the
+    // store above before the pending re-check below against the producer's
+    // increment-then-fence-then-exchange in notify_enqueue, forbidding the
+    // SB outcome where both sides read stale values. A producer that
+    // completed an enqueue between our empty observation and the store
+    // above saw active==true and skipped its push; whoever wins this
+    // exchange re-activates.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (pending(e) != 0 && !e.active.exchange(true, std::memory_order_acq_rel))
       push_activation(t);
   }

@@ -6,11 +6,13 @@
 // is touched by many threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "svc/dwrr.hpp"
 #include "svc/tenant_map.hpp"
@@ -64,17 +66,21 @@ class ServiceFacade {
   };
 
   /// Snapshot of one tenant's counters. Exact when the servicer is quiesced
-  /// (how the tests read it); a monotone under-estimate mid-flight.
+  /// (how the tests read it); a race-free monotone under-estimate mid-flight
+  /// (serviced/deficit are relaxed atomics, single-writer on the servicer).
   TenantStats tenant_stats(int tenant) const {
     const TenantEntry<T>& e = map_->entry(tenant);
     return TenantStats{e.weight.load(std::memory_order_relaxed),
-                       e.enqueued.load(std::memory_order_acquire), e.serviced,
-                       e.deficit, e.active.load(std::memory_order_acquire)};
+                       e.enqueued.load(std::memory_order_acquire),
+                       e.serviced.load(std::memory_order_relaxed),
+                       e.deficit.load(std::memory_order_relaxed),
+                       e.active.load(std::memory_order_acquire)};
   }
 
   uint64_t total_serviced() const {
     uint64_t total = 0;
-    for (int t = 0; t < map_->size(); ++t) total += map_->entry(t).serviced;
+    for (int t = 0; t < map_->size(); ++t)
+      total += map_->entry(t).serviced.load(std::memory_order_relaxed);
     return total;
   }
 
@@ -84,13 +90,30 @@ class ServiceFacade {
   }
 
  private:
-  static int& bound_pid() {
-    static thread_local int pid = 0;
-    return pid;
+  /// Per-(facade, thread) binding: each facade gets a never-reused id and
+  /// each thread keeps its own {id -> pid} list, so a thread that binds
+  /// different pids on two facades does not clobber one binding with the
+  /// other (a single static thread_local would). Ids survive moves (the
+  /// moved-from facade keeps the value but its map_ is null, so it is
+  /// unusable anyway) and are never recycled, so a new facade can't
+  /// inherit a stale binding. Entries for destroyed facades linger — a few
+  /// bytes per facade a thread ever bound, scanned linearly.
+  static uint64_t next_bind_id() {
+    static std::atomic<uint64_t> n{0};
+    return n.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  int& bound_pid() const {
+    static thread_local std::vector<std::pair<uint64_t, int>> binds;
+    for (auto& [id, pid] : binds)
+      if (id == bind_id_) return pid;
+    binds.emplace_back(bind_id_, 0);
+    return binds.back().second;
   }
 
   std::unique_ptr<TenantMap<T>> map_;
   std::unique_ptr<DwrrScheduler<T>> sched_;
+  uint64_t bind_id_ = next_bind_id();
 };
 
 }  // namespace wfq::svc

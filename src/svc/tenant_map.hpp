@@ -21,9 +21,11 @@
 
 namespace wfq::svc {
 
-/// Per-tenant state. The queue and the atomics are written from producer
-/// threads; `serviced` and `deficit` are owned by the (single) servicing
-/// thread — see DwrrScheduler for the single-servicer contract.
+/// Per-tenant state. The queue, `weight`, `enqueued` and `active` are
+/// written from producer threads; `serviced` and `deficit` are written only
+/// by the (single) servicing thread — see DwrrScheduler for the
+/// single-servicer contract — but are atomic (relaxed) so stats readers can
+/// snapshot them mid-flight without a data race.
 template <typename T>
 struct TenantEntry {
   explicit TenantEntry(api::AnyQueue<T> q) : queue(std::move(q)) {}
@@ -39,10 +41,12 @@ struct TenantEntry {
   /// True while the tenant is in the active ring or queued for activation;
   /// the exchange on this flag is what keeps ring entries unique.
   std::atomic<bool> active{false};
-  /// Items handed out by service_next; servicer-owned plain field.
-  uint64_t serviced = 0;
-  /// DWRR deficit counter (in item-cost units); servicer-owned.
-  int64_t deficit = 0;
+  /// Items handed out by service_next; single-writer (servicer), relaxed
+  /// atomic only so concurrent stats snapshots are race-free.
+  std::atomic<uint64_t> serviced{0};
+  /// DWRR deficit counter (in item-cost units); servicer-written, same
+  /// single-writer/relaxed-snapshot contract as `serviced`.
+  std::atomic<int64_t> deficit{0};
 };
 
 /// Tenant id -> {backing queue, weight, counters}. Entries live in a deque

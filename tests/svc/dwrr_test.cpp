@@ -3,6 +3,8 @@
 // differential against a reference round-robin model, deterministic service
 // order under the sim scheduler, service-key parsing, and the ZipfTraffic
 // generator.
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -11,6 +13,7 @@
 #include <queue>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -211,6 +214,102 @@ void test_sim_deterministic_order() {
   CHECK(a != c);
 }
 
+// --- concurrent activation/deactivation stress (real threads) ---------------
+// Regression for the deactivation lost-wakeup: deactivate_front's
+// store(active=false) followed by its pending re-check races the producer's
+// enqueued-increment followed by its active-exchange — the SB litmus, which
+// release/acquire alone permits (both sides read stale values, neither
+// activates, the item strands). Producers throttle to a tiny backlog so
+// tenants cross the empty->deactivate / re-enqueue->reactivate edge
+// constantly; a stranded item deadlocks the handshake, which the servicer's
+// watchdog turns into a CHECK failure instead of a hang. A stats thread
+// snapshots counters mid-flight the whole time (race-free now that
+// serviced/deficit are atomics; the ASan/TSan legs watch this).
+void test_concurrent_activation_stress() {
+  const int producers = 3;
+  const uint64_t per_producer = 4'000;
+  const uint64_t total = producers * per_producer;
+  api::QueueConfig cfg;
+  cfg.procs = producers + 1;
+  auto s = api::make_service<uint64_t>("dwrr:2:ubq", cfg);
+  std::atomic<uint64_t> enqueued{0}, drained{0};
+  std::atomic<bool> done{false}, stuck{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      s.bind_thread(p);
+      for (uint64_t k = 0; k < per_producer && !stuck.load(); ++k) {
+        // Keep at most a handful of items in flight: the servicer drains
+        // dry between arrivals, so deactivation fires all the time. Yield
+        // while throttled — single-core runners otherwise burn whole
+        // scheduling quanta spinning.
+        while (enqueued.load() - drained.load() > 4 && !stuck.load())
+          std::this_thread::yield();
+        s.enqueue(static_cast<int>(k % 2), (static_cast<uint64_t>(p) << 32) | k);
+        enqueued.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    s.bind_thread(producers);
+    auto last_progress = std::chrono::steady_clock::now();
+    while (drained.load() < total) {
+      auto item = s.service_next();
+      if (item.has_value()) {
+        drained.fetch_add(1);
+        last_progress = std::chrono::steady_clock::now();
+      } else {
+        if (std::chrono::steady_clock::now() - last_progress >
+            std::chrono::seconds(30)) {
+          // No service progress for 30s: an item stranded.
+          stuck.store(true);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    while (!done.load()) {
+      uint64_t snap = 0;
+      for (int t = 0; t < 2; ++t) snap += s.tenant_stats(t).serviced;
+      CHECK(snap <= total);
+      CHECK(s.total_serviced() <= total);
+      std::this_thread::yield();
+    }
+  });
+  for (size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  done.store(true);
+  threads.back().join();
+  CHECK(!stuck.load());
+  CHECK_EQ(drained.load(), total);
+  CHECK_EQ(s.total_serviced(), total);
+  CHECK(!s.service_next().has_value());
+}
+
+// --- per-facade thread binding -----------------------------------------------
+// Regression: bound_pid used to be one static thread_local shared by every
+// ServiceFacade<T>, so binding pid 1 on a wider facade clobbered the pid-0
+// binding on a single-proc one and forwarded the out-of-range slot to its
+// backing tree. Bindings must be per-(facade, thread) and survive moves.
+void test_per_facade_binding() {
+  auto a = make("dwrr:1:ubq", /*procs=*/1);
+  auto b = make("dwrr:1:ubq", /*procs=*/2);
+  a.bind_thread(0);
+  b.bind_thread(1);  // must not disturb a's binding
+  a.enqueue(0, 1);
+  b.enqueue(0, 2);
+  auto ga = a.service_next();
+  CHECK(ga.has_value() && ga->value == 1);
+  auto gb = b.service_next();
+  CHECK(gb.has_value() && gb->value == 2);
+  // The binding travels with a moved facade.
+  auto c = std::move(a);
+  c.enqueue(0, 3);
+  auto gc = c.service_next();
+  CHECK(gc.has_value() && gc->value == 3);
+}
+
 // --- service-key parsing -----------------------------------------------------
 void test_service_keys() {
   auto throws = [](const std::string& key) {
@@ -331,6 +430,8 @@ int main() {
   test_deactivation_reactivation();
   test_differential_vs_rr_model();
   test_sim_deterministic_order();
+  test_concurrent_activation_stress();
+  test_per_facade_binding();
   test_service_keys();
   test_zipf_traffic();
   test_round_estimate();
