@@ -32,6 +32,7 @@
 #include "api/experiment.hpp"
 #include "api/queue_registry.hpp"
 #include "api/service_registry.hpp"
+#include "platform/affinity.hpp"
 #include "sim/adversary.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/qos.hpp"
@@ -284,6 +285,10 @@ api::Report run_throughput(const api::RunOptions& opts) {
       "E13c: service-loop throughput vs tenant count (real platform, one",
       "      servicing thread; " + std::to_string(total_ops) +
           " items prefilled round-robin, drained via service_next)"};
+  // Pin the servicing thread for the whole sweep: wall-clock ns/op rows
+  // are not comparable if the scheduler migrates the thread mid-sweep
+  // (best-effort; no-op where unsupported — see platform/affinity.hpp).
+  platform::pin_thread_to_core(0);
   for (const std::string& b : backings) {
     auto& sec = r.section("E13c:" + b);
     sec.pre("");

@@ -1,0 +1,379 @@
+// Broker daemon core (ISSUE 8 tentpole): owns a ShardMap of registry-built
+// backings, an event-loop I/O thread, and one servicer thread per shard
+// group. Runs equally as the `broker` binary (broker_main.cpp wires signals
+// to stop()) and in-process (the E14 experiments and the end-to-end CTest
+// construct a Broker on a temp UDS path directly — same code path, real
+// sockets).
+//
+// Data flow: the I/O thread decodes each connection's read burst into a
+// frame batch (net::EventLoop), buckets it by shard group, and pushes ONE
+// work-queue append per group per burst. Each servicer drains its group's
+// queue in batches, performs the queue/service ops on the shards it owns,
+// encodes all responses for a connection into one buffer, and send()s
+// directly from its own thread — response syscalls scale with servicers
+// instead of funneling through the I/O thread.
+//
+// Shutdown (stop(), also the SIGINT/SIGTERM path): stop accepting and
+// reading, then drain — every request already read is processed and its
+// response flushed — then join and leave the final counters readable
+// (report()). A group work queue that hits its backlog cap blocks the I/O
+// thread (backpressure through the kernel socket buffers), never drops.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/shard_map.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "platform/affinity.hpp"
+
+namespace wfq::broker {
+
+struct BrokerConfig {
+  int shards = 1;
+  /// Servicer threads; 0 = one per shard. Shard s belongs to group
+  /// s % groups, so shards spread round-robin over servicers.
+  int groups = 0;
+  /// Backing key per shard: any make_queue or make_service spelling.
+  std::string backing = "ubq";
+  /// Listeners: either or both. An empty uds_path and tcp_port < 0 is a
+  /// configuration error (a broker nobody can reach).
+  std::string uds_path;
+  int tcp_port = -1;  // -1 = none, 0 = kernel-picked (read back via tcp_port())
+  /// Pin servicer threads to cores (platform::pin_thread_to_core; no-op
+  /// where unsupported).
+  bool pin_threads = false;
+  /// Sizes fixed-segment backings (api::sized_config contract).
+  int64_t expected_ops = int64_t{1} << 18;
+};
+
+class Broker {
+ public:
+  struct ShardCounters {
+    uint64_t enq = 0;
+    uint64_t deq_hit = 0;
+    uint64_t deq_empty = 0;
+    uint64_t ping = 0;
+    uint64_t stat = 0;
+    uint64_t bad = 0;
+  };
+
+  explicit Broker(BrokerConfig cfg)
+      : cfg_(std::move(cfg)),
+        map_(cfg_.shards, cfg_.backing, cfg_.expected_ops) {
+    if (cfg_.uds_path.empty() && cfg_.tcp_port < 0)
+      throw std::invalid_argument(
+          "broker::Broker: need a UDS path and/or a TCP port to listen on");
+    if (cfg_.groups <= 0 || cfg_.groups > cfg_.shards)
+      cfg_.groups = cfg_.shards;
+    for (int s = 0; s < cfg_.shards; ++s) shard_state_.emplace_back();
+    for (int g = 0; g < cfg_.groups; ++g) groups_.emplace_back();
+  }
+
+  ~Broker() { stop(); }
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Binds listeners and spawns the servicer + I/O threads. Throws on bind
+  /// failure (daemon has nothing to fall back to).
+  void start() {
+    net::EventLoop::Callbacks cbs;
+    cbs.on_batch = [this](uint64_t conn, std::vector<net::Frame>& batch) {
+      route(conn, batch);
+    };
+    loop_ = std::make_unique<net::EventLoop>(std::move(cbs));
+    if (!cfg_.uds_path.empty())
+      loop_->add_listener(net::listen_uds(cfg_.uds_path));
+    if (cfg_.tcp_port >= 0) {
+      net::FdHandle fd = net::listen_tcp(static_cast<uint16_t>(cfg_.tcp_port));
+      tcp_port_ = net::bound_tcp_port(fd.get());
+      loop_->add_listener(std::move(fd));
+    }
+    for (int g = 0; g < cfg_.groups; ++g)
+      groups_[static_cast<size_t>(g)].thread =
+          std::thread([this, g] { servicer_main(g); });
+    io_thread_ = std::thread([this] {
+      if (cfg_.pin_threads) platform::pin_thread_to_core(0);
+      loop_->run();
+    });
+    started_ = true;
+  }
+
+  /// Clean shutdown: stop reading, drain every already-read request through
+  /// its servicer, flush responses, join. Idempotent; also the dtor path.
+  void stop() {
+    if (!started_ || stopped_.exchange(true)) return;
+    loop_->stop();
+    io_thread_.join();
+    for (Group& g : groups_) {
+      {
+        std::lock_guard<std::mutex> lk(g.m);
+        g.closed = true;
+      }
+      g.cv.notify_all();
+    }
+    for (Group& g : groups_) g.thread.join();
+    // Every response is queued by now (servicers joined): flush the last
+    // bytes out and close, so clients waiting on responses see EOF rather
+    // than a silent socket.
+    loop_->shutdown_flush_and_close();
+    if (!cfg_.uds_path.empty()) ::unlink(cfg_.uds_path.c_str());
+  }
+
+  /// TCP port actually bound (resolves tcp_port = 0); 0 if no TCP listener.
+  uint16_t tcp_port() const { return tcp_port_; }
+
+  int shards() const { return map_.shards(); }
+  int groups() const { return cfg_.groups; }
+  const std::string& backing() const { return map_.backing(); }
+
+  ShardCounters counters(int shard) const {
+    const ShardState& s = shard_state_[static_cast<size_t>(shard)];
+    return {s.enq.load(std::memory_order_relaxed),
+            s.deq_hit.load(std::memory_order_relaxed),
+            s.deq_empty.load(std::memory_order_relaxed),
+            s.ping.load(std::memory_order_relaxed),
+            s.stat.load(std::memory_order_relaxed),
+            s.bad.load(std::memory_order_relaxed)};
+  }
+
+  ShardCounters totals() const {
+    ShardCounters t;
+    for (int s = 0; s < shards(); ++s) {
+      ShardCounters c = counters(s);
+      t.enq += c.enq;
+      t.deq_hit += c.deq_hit;
+      t.deq_empty += c.deq_empty;
+      t.ping += c.ping;
+      t.stat += c.stat;
+      t.bad += c.bad;
+    }
+    return t;
+  }
+
+  /// The STAT payload and the `broker --report` body: per-shard op counters
+  /// plus the space snapshot each servicer refreshes for its own shards
+  /// (live read of another shard's space_stats would violate the
+  /// quiescent-only contract; the cache is the race-free stand-in), plus
+  /// per-tenant rows for dwrr backings. Valid JSON — a monitoring script
+  /// can json.load it straight off the socket.
+  std::string stat_json() const {
+    std::ostringstream os;
+    os << "{\"schema\":\"wfq-broker-stat-v1\",\"backing\":\"" << map_.backing()
+       << "\",\"shards\":[";
+    for (int s = 0; s < shards(); ++s) {
+      const ShardState& st = shard_state_[static_cast<size_t>(s)];
+      ShardCounters c = counters(s);
+      if (s > 0) os << ",";
+      os << "{\"shard\":" << s << ",\"enq\":" << c.enq
+         << ",\"deq_hit\":" << c.deq_hit << ",\"deq_empty\":" << c.deq_empty
+         << ",\"ping\":" << c.ping << ",\"stat\":" << c.stat
+         << ",\"bad\":" << c.bad;
+      if (st.space_known.load(std::memory_order_relaxed)) {
+        os << ",\"live_blocks\":"
+           << st.space_live.load(std::memory_order_relaxed)
+           << ",\"ebr_retired\":"
+           << st.space_retired.load(std::memory_order_relaxed);
+      }
+      std::vector<TenantRow> tenants = map_.tenant_rows(s);
+      if (!tenants.empty()) {
+        os << ",\"tenants\":[";
+        for (size_t t = 0; t < tenants.size(); ++t) {
+          if (t > 0) os << ",";
+          os << "{\"tenant\":" << tenants[t].tenant
+             << ",\"weight\":" << tenants[t].weight
+             << ",\"enqueued\":" << tenants[t].enqueued
+             << ",\"serviced\":" << tenants[t].serviced << "}";
+        }
+        os << "]";
+      }
+      os << "}";
+    }
+    os << "]}";
+    return os.str();
+  }
+
+ private:
+  /// Per-group backlog cap: a full group blocks the I/O thread (kernel
+  /// socket buffers then throttle the clients) instead of buffering
+  /// without bound. 2^20 items ~ tens of MB worst case.
+  static constexpr size_t kMaxBacklog = size_t{1} << 20;
+
+  struct WorkItem {
+    uint64_t conn = 0;
+    int shard = 0;
+    net::Frame frame;
+  };
+
+  struct Group {
+    std::mutex m;
+    std::condition_variable cv;       // servicer waits: work or closed
+    std::condition_variable cv_room;  // I/O thread waits: below cap
+    std::deque<WorkItem> items;
+    bool closed = false;
+    std::thread thread;
+  };
+
+  struct ShardState {
+    std::atomic<uint64_t> enq{0}, deq_hit{0}, deq_empty{0};
+    std::atomic<uint64_t> ping{0}, stat{0}, bad{0};
+    // Space cache, refreshed by the owning servicer (see stat_json).
+    std::atomic<uint64_t> space_live{0}, space_retired{0};
+    std::atomic<bool> space_known{false};
+  };
+
+  /// I/O-thread callback: bucket the burst by group, one append per group.
+  void route(uint64_t conn, std::vector<net::Frame>& batch) {
+    route_scratch_.assign(static_cast<size_t>(cfg_.groups), {});
+    for (net::Frame& f : batch) {
+      int shard = map_.shard_of(f.key);
+      route_scratch_[static_cast<size_t>(shard % cfg_.groups)].push_back(
+          WorkItem{conn, shard, std::move(f)});
+    }
+    for (int g = 0; g < cfg_.groups; ++g) {
+      std::vector<WorkItem>& bucket = route_scratch_[static_cast<size_t>(g)];
+      if (bucket.empty()) continue;
+      Group& grp = groups_[static_cast<size_t>(g)];
+      {
+        std::unique_lock<std::mutex> lk(grp.m);
+        grp.cv_room.wait(lk, [&] {
+          return grp.items.size() < kMaxBacklog || grp.closed;
+        });
+        for (WorkItem& w : bucket) grp.items.push_back(std::move(w));
+      }
+      grp.cv.notify_one();
+    }
+  }
+
+  void servicer_main(int g) {
+    if (cfg_.pin_threads) platform::pin_thread_to_core(1 + g);
+    for (int s = g; s < map_.shards(); s += cfg_.groups)
+      map_.bind_servicer(s);
+    Group& grp = groups_[static_cast<size_t>(g)];
+    std::deque<WorkItem> local;
+    std::unordered_map<uint64_t, std::string> out;
+    uint64_t ops_since_space = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(grp.m);
+        grp.cv.wait(lk, [&] { return !grp.items.empty() || grp.closed; });
+        if (grp.items.empty() && grp.closed) break;
+        local.swap(grp.items);
+      }
+      grp.cv_room.notify_all();
+      out.clear();
+      // A STAT in the batch gets fresh numbers for this group's shards:
+      // refreshing here is the single-toucher reading its own objects, the
+      // exact quiescent case the space_stats contract allows. Other groups'
+      // shards report their last periodic snapshot.
+      for (const WorkItem& w : local)
+        if (w.frame.op == net::Opcode::stat) {
+          refresh_space(g);
+          break;
+        }
+      for (WorkItem& w : local) handle(w, out[w.conn]);
+      ops_since_space += local.size();
+      local.clear();
+      // One send per connection per batch: the whole burst of responses
+      // is one buffer, one (usual-case) write syscall from this thread.
+      for (auto& [conn, buf] : out) loop_->send(conn, std::move(buf));
+      if (ops_since_space >= 1024) {
+        ops_since_space = 0;
+        refresh_space(g);
+      }
+    }
+    refresh_space(g);  // drain complete: leave a final snapshot behind
+  }
+
+  void refresh_space(int g) {
+    for (int s = g; s < map_.shards(); s += cfg_.groups) {
+      api::SpaceStats sp = map_.space_stats(s);
+      ShardState& st = shard_state_[static_cast<size_t>(s)];
+      st.space_live.store(sp.live_blocks, std::memory_order_relaxed);
+      st.space_retired.store(sp.ebr_retired, std::memory_order_relaxed);
+      st.space_known.store(sp.known, std::memory_order_relaxed);
+    }
+  }
+
+  /// Executes one request on its shard, appends the encoded response.
+  void handle(WorkItem& w, std::string& out) {
+    ShardState& st = shard_state_[static_cast<size_t>(w.shard)];
+    net::Frame resp;
+    resp.key = w.frame.key;
+    resp.flags = w.frame.flags;
+    switch (w.frame.op) {
+      case net::Opcode::enq: {
+        uint64_t v = 0;
+        if (!net::decode_value(w.frame.payload, v)) {
+          st.bad.fetch_add(1, std::memory_order_relaxed);
+          resp.op = net::Opcode::err;
+          resp.payload = "ENQ payload must be exactly 8 bytes";
+          break;
+        }
+        map_.enqueue(w.shard, w.frame.key, v);
+        st.enq.fetch_add(1, std::memory_order_relaxed);
+        resp.op = net::Opcode::enq_ok;
+        break;
+      }
+      case net::Opcode::deq: {
+        int tenant = -1;
+        std::optional<uint64_t> got = map_.dequeue(w.shard, tenant);
+        if (got) {
+          st.deq_hit.fetch_add(1, std::memory_order_relaxed);
+          resp.op = net::Opcode::deq_ok;
+          resp.payload = net::encode_value(*got);
+          // dwrr backings report which tenant the scheduler served; the
+          // 16-bit flags field carries it (tenant counts are <= 4096).
+          if (tenant >= 0) resp.flags = static_cast<uint16_t>(tenant);
+        } else {
+          st.deq_empty.fetch_add(1, std::memory_order_relaxed);
+          resp.op = net::Opcode::deq_empty;
+        }
+        break;
+      }
+      case net::Opcode::stat:
+        st.stat.fetch_add(1, std::memory_order_relaxed);
+        resp.op = net::Opcode::stat_ok;
+        resp.payload = stat_json();
+        break;
+      case net::Opcode::ping:
+        st.ping.fetch_add(1, std::memory_order_relaxed);
+        resp.op = net::Opcode::pong;
+        resp.payload = std::move(w.frame.payload);
+        break;
+      default:
+        // Response-band opcodes are valid frames but not valid REQUESTS.
+        st.bad.fetch_add(1, std::memory_order_relaxed);
+        resp.op = net::Opcode::err;
+        resp.payload = std::string("unexpected request opcode ") +
+                       net::opcode_name(w.frame.op);
+        break;
+    }
+    net::encode_frame(resp, out);
+  }
+
+  BrokerConfig cfg_;
+  ShardMap map_;
+  std::deque<ShardState> shard_state_;
+  std::deque<Group> groups_;
+  std::unique_ptr<net::EventLoop> loop_;
+  std::thread io_thread_;
+  std::vector<std::vector<WorkItem>> route_scratch_;  // I/O thread only
+  uint16_t tcp_port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace wfq::broker

@@ -1,0 +1,189 @@
+// `broker` — the daemon binary (ISSUE 8 tentpole): serves the wfb-v1
+// protocol over a Unix-domain socket and/or loopback TCP, sharding frames
+// across registry-built backings. SIGINT/SIGTERM trigger the clean drain
+// path (every accepted request answered, then the per-shard counter report
+// on stdout). `broker --report <uds-path>` is the companion client mode: it
+// asks a LIVE broker for its STAT report (per-shard counters + space
+// snapshot + per-tenant rows) and prints the JSON — the process-boundary
+// version of reading space_stats() in an E6 gate.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "broker/broker.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  char b = 1;
+  [[maybe_unused]] ssize_t w = ::write(g_signal_pipe[1], &b, 1);
+}
+
+void usage(std::ostream& os) {
+  os << "usage: broker --uds <path> [--tcp <port>] [options]\n"
+        "       broker --report <uds-path>\n"
+        "\n"
+        "  --uds <path>      listen on a Unix-domain socket at <path>\n"
+        "  --tcp <port>      also listen on 127.0.0.1:<port> (0 = pick)\n"
+        "  --shards <n>      number of backing shards (default 1)\n"
+        "  --groups <g>      servicer threads; shards spread round-robin\n"
+        "                    (default: one per shard)\n"
+        "  --backing <key>   per-shard backing: any queue registry key\n"
+        "                    (ubq, bounded:g=64, faaq, ...) or service key\n"
+        "                    (dwrr:<n>:<backing>) (default ubq)\n"
+        "  --ops <n>         expected op volume, sizes fixed-segment\n"
+        "                    backings (default 262144)\n"
+        "  --pin             pin I/O + servicer threads to cores\n"
+        "  --report <path>   client mode: print a live broker's STAT JSON\n"
+        "  --help, -h        this text\n";
+}
+
+int64_t parse_int(const std::string& s, const char* flag) {
+  bool ok = !s.empty();
+  for (size_t i = (!s.empty() && s[0] == '-') ? 1 : 0; i < s.size() && ok; ++i)
+    if (s[i] < '0' || s[i] > '9') ok = false;
+  if (!ok || s == "-")
+    throw std::invalid_argument(std::string("bad integer \"") + s +
+                                "\" for " + flag);
+  return std::stoll(s);
+}
+
+/// Client mode: one STAT round trip against a live broker.
+int report_mode(const std::string& uds_path) {
+  wfq::net::FdHandle fd = wfq::net::connect_uds(uds_path);
+  if (!fd.valid()) {
+    std::cerr << "broker: cannot connect to " << uds_path << ": "
+              << std::strerror(errno) << "\n";
+    return 1;
+  }
+  wfq::net::Frame req;
+  req.op = wfq::net::Opcode::stat;
+  std::string wire;
+  wfq::net::encode_frame(req, wire);
+  if (!wfq::net::write_all(fd.get(), wire)) {
+    std::cerr << "broker: STAT write failed\n";
+    return 1;
+  }
+  wfq::net::Decoder dec;
+  wfq::net::Frame resp;
+  char buf[65536];
+  while (true) {
+    ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n <= 0) {
+      std::cerr << "broker: connection closed before STAT response\n";
+      return 1;
+    }
+    dec.feed(buf, static_cast<size_t>(n));
+    wfq::net::DecodeStatus st = dec.next(resp);
+    if (st == wfq::net::DecodeStatus::ok) break;
+    if (st != wfq::net::DecodeStatus::need_more) {
+      std::cerr << "broker: bad STAT response: "
+                << wfq::net::decode_status_name(st) << "\n";
+      return 1;
+    }
+  }
+  if (resp.op != wfq::net::Opcode::stat_ok) {
+    std::cerr << "broker: expected STAT_OK, got "
+              << wfq::net::opcode_name(resp.op) << "\n";
+    return 1;
+  }
+  std::cout << resp.payload << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfq::broker::BrokerConfig cfg;
+  std::string report_path;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      auto need = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc)
+          throw std::invalid_argument(std::string("missing value for ") +
+                                      flag);
+        return argv[++i];
+      };
+      if (a == "--uds") {
+        cfg.uds_path = need("--uds");
+      } else if (a == "--tcp") {
+        int64_t p = parse_int(need("--tcp"), "--tcp");
+        if (p < 0 || p > 65535)
+          throw std::invalid_argument("--tcp port must be in [0, 65535]");
+        cfg.tcp_port = static_cast<int>(p);
+      } else if (a == "--shards") {
+        cfg.shards = static_cast<int>(parse_int(need("--shards"), "--shards"));
+      } else if (a == "--groups") {
+        cfg.groups = static_cast<int>(parse_int(need("--groups"), "--groups"));
+      } else if (a == "--backing") {
+        cfg.backing = need("--backing");
+      } else if (a == "--ops") {
+        cfg.expected_ops = parse_int(need("--ops"), "--ops");
+        if (cfg.expected_ops < 1)
+          throw std::invalid_argument("--ops must be >= 1");
+      } else if (a == "--pin") {
+        cfg.pin_threads = true;
+      } else if (a == "--report") {
+        report_path = need("--report");
+      } else if (a == "--help" || a == "-h") {
+        usage(std::cout);
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown flag \"" + a + "\"");
+      }
+    }
+    if (!report_path.empty()) return report_mode(report_path);
+    if (cfg.uds_path.empty() && cfg.tcp_port < 0)
+      throw std::invalid_argument("need --uds and/or --tcp");
+  } catch (const std::exception& ex) {
+    std::cerr << "broker: " << ex.what() << "\n\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    // Signal wiring before start(): a SIGTERM racing startup must still
+    // land in the pipe the main thread is about to block on.
+    if (::pipe(g_signal_pipe) != 0) {
+      std::cerr << "broker: pipe() failed\n";
+      return 1;
+    }
+    struct sigaction sa {};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    wfq::broker::Broker broker(cfg);
+    broker.start();
+    std::cerr << "broker: serving " << broker.shards() << " shard(s) of "
+              << broker.backing() << " on "
+              << (cfg.uds_path.empty() ? std::string("-")
+                                       : cfg.uds_path);
+    if (cfg.tcp_port >= 0)
+      std::cerr << " and 127.0.0.1:" << broker.tcp_port();
+    std::cerr << " (" << broker.groups() << " servicer thread(s))\n";
+
+    char b;
+    while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    std::cerr << "broker: signal received, draining...\n";
+    broker.stop();
+    std::cout << broker.stat_json() << "\n";
+    wfq::broker::Broker::ShardCounters t = broker.totals();
+    std::cerr << "broker: drained; enq=" << t.enq << " deq_hit=" << t.deq_hit
+              << " deq_empty=" << t.deq_empty << " ping=" << t.ping
+              << " stat=" << t.stat << " bad=" << t.bad << "\n";
+    return 0;
+  } catch (const std::exception& ex) {
+    std::cerr << "broker: " << ex.what() << "\n";
+    return 1;
+  }
+}

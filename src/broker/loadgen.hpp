@@ -1,0 +1,295 @@
+// Load-generator client for the broker (ISSUE 8 tentpole): C connections
+// over UDS or TCP, closed-loop (windowed request/response) or open-loop
+// (paced arrivals) modes, per-request latency recording. Used three ways:
+// the `loadgen` binary (loadgen_main.cpp), the E14 experiment family, and
+// the broker end-to-end CTest — all through run_loadgen on real sockets.
+//
+// Each connection owns ONE routing key (key_base + index). One key lands on
+// one shard and one servicer, so a connection's responses arrive in request
+// order end-to-end and a FIFO deque of send timestamps matches request to
+// response without sequence numbers (values carry a per-connection sequence
+// anyway, which is what the e2e test checks FIFO with).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "platform/affinity.hpp"
+
+namespace wfq::broker {
+
+struct LoadgenConfig {
+  /// Transport: UDS when uds_path is nonempty, else TCP to 127.0.0.1:port.
+  std::string uds_path;
+  uint16_t tcp_port = 0;
+
+  int connections = 1;
+  /// Requests per connection (an ENQ/DEQ pair counts as 2).
+  int64_t msgs_per_conn = 1000;
+
+  enum class Mode { closed, open };
+  Mode mode = Mode::closed;
+  /// Max outstanding requests per connection. Closed-loop window 1 is the
+  /// strict one-in-flight client; open loop uses it as a safety cap so a
+  /// stalled broker cannot make a client buffer without bound.
+  int window = 1;
+  /// Open loop only: per-connection arrival rate in requests/second
+  /// (required > 0 in open mode; closed loop ignores it).
+  double rate_per_conn = 0;
+
+  /// true: alternate ENQ, DEQ (steady queue depth — throughput workload).
+  /// false: ENQ only (fills the shard; the prefill phase E14c uses).
+  bool pairs = true;
+
+  /// Connection c routes with key_base + c.
+  uint32_t key_base = 0;
+
+  /// Pin connection threads to cores starting at pin_offset (best-effort).
+  bool pin_threads = false;
+  int pin_offset = 0;
+};
+
+struct LoadgenResult {
+  uint64_t sent = 0;
+  uint64_t acked = 0;   // responses received (any kind)
+  uint64_t errors = 0;  // ERR responses
+  double elapsed_s = 0;
+  double msgs_per_s = 0;  // acked / elapsed
+  /// One entry per response, microseconds. Closed loop: request RTT.
+  /// Open loop: sojourn from SCHEDULED send time (queue delay included).
+  std::vector<double> latencies_us;
+  bool connect_failed = false;
+};
+
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+inline double us_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+struct ConnStats {
+  uint64_t sent = 0, acked = 0, errors = 0;
+  std::vector<double> latencies_us;
+  bool failed = false;
+};
+
+inline net::FdHandle lg_connect(const LoadgenConfig& cfg) {
+  if (!cfg.uds_path.empty()) return net::connect_uds(cfg.uds_path);
+  return net::connect_tcp(cfg.tcp_port);
+}
+
+/// Drains whatever responses are readable (blocking for at least one),
+/// matching them to the FIFO of send timestamps. Returns false on EOF.
+inline bool read_responses(int fd, net::Decoder& dec,
+                           std::deque<Clock::time_point>& pending,
+                           int64_t& outstanding, ConnStats& st) {
+  char buf[65536];
+  ssize_t n;
+  do {
+    n = ::read(fd, buf, sizeof(buf));
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return false;
+  dec.feed(buf, static_cast<size_t>(n));
+  net::Frame f;
+  while (dec.next(f) == net::DecodeStatus::ok) {
+    if (!pending.empty()) {
+      st.latencies_us.push_back(us_since(pending.front(), Clock::now()));
+      pending.pop_front();
+    }
+    --outstanding;
+    ++st.acked;
+    if (f.op == net::Opcode::err) ++st.errors;
+  }
+  return true;
+}
+
+/// One closed-loop connection: keep up to `window` requests in flight,
+/// batch the top-up into one write, block for responses.
+inline void closed_loop_conn(const LoadgenConfig& cfg, int index,
+                             ConnStats& st) {
+  if (cfg.pin_threads)
+    platform::pin_thread_to_core(cfg.pin_offset + index);
+  net::FdHandle fd = lg_connect(cfg);
+  if (!fd.valid()) {
+    st.failed = true;
+    return;
+  }
+  const uint32_t key = cfg.key_base + static_cast<uint32_t>(index);
+  net::Decoder dec;
+  std::deque<Clock::time_point> pending;
+  int64_t outstanding = 0;
+  uint64_t seq = 0;
+  std::string wbuf;
+  while (st.acked < static_cast<uint64_t>(cfg.msgs_per_conn)) {
+    wbuf.clear();
+    while (outstanding < cfg.window &&
+           st.sent < static_cast<uint64_t>(cfg.msgs_per_conn)) {
+      net::Frame f;
+      f.key = key;
+      if (cfg.pairs && (st.sent % 2 == 1)) {
+        f.op = net::Opcode::deq;
+      } else {
+        f.op = net::Opcode::enq;
+        f.payload = net::encode_value(seq++);
+      }
+      pending.push_back(Clock::now());
+      net::encode_frame(f, wbuf);
+      ++st.sent;
+      ++outstanding;
+    }
+    if (!wbuf.empty() && !net::write_all(fd.get(), wbuf)) {
+      st.failed = true;
+      return;
+    }
+    if (!read_responses(fd.get(), dec, pending, outstanding, st)) return;
+  }
+}
+
+/// One open-loop connection: a writer paces requests on an absolute
+/// schedule (next = start + k/rate — a slow broker does not slow the
+/// arrival process, that is the point of open loop), a reader records
+/// sojourn times against the SCHEDULED instants. The window cap is the
+/// only coupling: at the cap the writer waits, and the workload degrades
+/// toward closed-loop rather than buffering without bound.
+inline void open_loop_conn(const LoadgenConfig& cfg, int index,
+                           ConnStats& st) {
+  if (cfg.pin_threads)
+    platform::pin_thread_to_core(cfg.pin_offset + index);
+  net::FdHandle fd = lg_connect(cfg);
+  if (!fd.valid()) {
+    st.failed = true;
+    return;
+  }
+  const uint32_t key = cfg.key_base + static_cast<uint32_t>(index);
+  std::mutex m;
+  std::deque<Clock::time_point> pending;  // scheduled send instants
+  std::atomic<int64_t> outstanding{0};
+  std::atomic<bool> reader_dead{false};
+  std::atomic<uint64_t> acked{0};
+
+  std::thread reader([&] {
+    net::Decoder dec;
+    char buf[65536];
+    net::Frame f;
+    while (acked.load(std::memory_order_relaxed) <
+           static_cast<uint64_t>(cfg.msgs_per_conn)) {
+      ssize_t n;
+      do {
+        n = ::read(fd.get(), buf, sizeof(buf));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) break;
+      dec.feed(buf, static_cast<size_t>(n));
+      while (dec.next(f) == net::DecodeStatus::ok) {
+        Clock::time_point sched;
+        bool have = false;
+        {
+          std::lock_guard<std::mutex> lk(m);
+          if (!pending.empty()) {
+            sched = pending.front();
+            pending.pop_front();
+            have = true;
+          }
+        }
+        if (have) st.latencies_us.push_back(us_since(sched, Clock::now()));
+        outstanding.fetch_sub(1, std::memory_order_relaxed);
+        acked.fetch_add(1, std::memory_order_relaxed);
+        if (f.op == net::Opcode::err) ++st.errors;
+      }
+    }
+    reader_dead.store(true, std::memory_order_release);
+  });
+
+  const double interval_s =
+      cfg.rate_per_conn > 0 ? 1.0 / cfg.rate_per_conn : 0.0;
+  Clock::time_point start = Clock::now();
+  uint64_t seq = 0;
+  std::string wbuf;
+  for (int64_t k = 0; k < cfg.msgs_per_conn; ++k) {
+    Clock::time_point sched =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(interval_s *
+                                                  static_cast<double>(k)));
+    std::this_thread::sleep_until(sched);
+    while (outstanding.load(std::memory_order_relaxed) >= cfg.window &&
+           !reader_dead.load(std::memory_order_acquire))
+      std::this_thread::yield();  // safety cap, see header comment
+    if (reader_dead.load(std::memory_order_acquire)) {
+      st.failed = true;  // broker went away mid-run
+      break;
+    }
+    net::Frame f;
+    f.key = key;
+    if (cfg.pairs && (k % 2 == 1)) {
+      f.op = net::Opcode::deq;
+    } else {
+      f.op = net::Opcode::enq;
+      f.payload = net::encode_value(seq++);
+    }
+    {
+      std::lock_guard<std::mutex> lk(m);
+      pending.push_back(sched);
+    }
+    wbuf.clear();
+    net::encode_frame(f, wbuf);
+    if (!net::write_all(fd.get(), wbuf)) {
+      st.failed = true;
+      break;
+    }
+    outstanding.fetch_add(1, std::memory_order_relaxed);
+    ++st.sent;
+  }
+  if (st.failed)  // writer aborted: unblock the reader's read() and bail
+    ::shutdown(fd.get(), SHUT_RDWR);
+  reader.join();
+  st.acked = acked.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// Runs the configured workload, one thread per connection (open loop adds
+/// a reader thread per connection), and merges per-connection stats. The
+/// clock covers connect through last response.
+inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
+  std::vector<detail::ConnStats> stats(
+      static_cast<size_t>(cfg.connections));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(cfg.connections));
+  detail::Clock::time_point t0 = detail::Clock::now();
+  for (int c = 0; c < cfg.connections; ++c) {
+    detail::ConnStats& st = stats[static_cast<size_t>(c)];
+    threads.emplace_back([&cfg, c, &st] {
+      if (cfg.mode == LoadgenConfig::Mode::closed)
+        detail::closed_loop_conn(cfg, c, st);
+      else
+        detail::open_loop_conn(cfg, c, st);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  detail::Clock::time_point t1 = detail::Clock::now();
+
+  LoadgenResult r;
+  r.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  for (detail::ConnStats& st : stats) {
+    r.sent += st.sent;
+    r.acked += st.acked;
+    r.errors += st.errors;
+    r.connect_failed = r.connect_failed || st.failed;
+    r.latencies_us.insert(r.latencies_us.end(), st.latencies_us.begin(),
+                          st.latencies_us.end());
+  }
+  r.msgs_per_s =
+      r.elapsed_s > 0 ? static_cast<double>(r.acked) / r.elapsed_s : 0;
+  return r;
+}
+
+}  // namespace wfq::broker

@@ -1,0 +1,133 @@
+// `loadgen` — the broker's load-generator client binary (ISSUE 8
+// tentpole): C connections over UDS or TCP, closed- or open-loop, printing
+// throughput and the p50/p99/p999 latency ladder the E14 experiments gate
+// on. Thin CLI over broker::run_loadgen — the binary, the experiments, and
+// the e2e test all drive the same code path.
+#include <iostream>
+#include <string>
+
+#include "broker/loadgen.hpp"
+#include "stats/qos.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: loadgen (--uds <path> | --tcp <port>) [options]\n"
+        "\n"
+        "  --uds <path>      connect over the Unix-domain socket at <path>\n"
+        "  --tcp <port>      connect to 127.0.0.1:<port>\n"
+        "  --conns <c>       concurrent connections (default 1)\n"
+        "  --msgs <n>        requests per connection (default 1000)\n"
+        "  --mode <m>        closed | open (default closed)\n"
+        "  --window <w>      max in-flight requests per connection\n"
+        "                    (default 1; open loop uses it as a safety cap)\n"
+        "  --rate <r>        open loop: arrivals/second per connection\n"
+        "  --enq-only        send only ENQ frames (default: ENQ/DEQ pairs)\n"
+        "  --key-base <k>    routing key of connection c is k + c\n"
+        "  --pin             pin connection threads to cores\n"
+        "  --pin-offset <o>  first core index for --pin (default 0)\n"
+        "  --help, -h        this text\n";
+}
+
+int64_t parse_int(const std::string& s, const char* flag) {
+  bool ok = !s.empty();
+  for (char ch : s)
+    if (ch < '0' || ch > '9') ok = false;
+  if (!ok)
+    throw std::invalid_argument(std::string("bad integer \"") + s +
+                                "\" for " + flag);
+  return std::stoll(s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfq::broker::LoadgenConfig cfg;
+  bool have_target = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      auto need = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc)
+          throw std::invalid_argument(std::string("missing value for ") +
+                                      flag);
+        return argv[++i];
+      };
+      if (a == "--uds") {
+        cfg.uds_path = need("--uds");
+        have_target = true;
+      } else if (a == "--tcp") {
+        int64_t p = parse_int(need("--tcp"), "--tcp");
+        if (p < 1 || p > 65535)
+          throw std::invalid_argument("--tcp port must be in [1, 65535]");
+        cfg.tcp_port = static_cast<uint16_t>(p);
+        have_target = true;
+      } else if (a == "--conns") {
+        cfg.connections =
+            static_cast<int>(parse_int(need("--conns"), "--conns"));
+        if (cfg.connections < 1)
+          throw std::invalid_argument("--conns must be >= 1");
+      } else if (a == "--msgs") {
+        cfg.msgs_per_conn = parse_int(need("--msgs"), "--msgs");
+        if (cfg.msgs_per_conn < 1)
+          throw std::invalid_argument("--msgs must be >= 1");
+      } else if (a == "--mode") {
+        std::string m = need("--mode");
+        if (m == "closed") {
+          cfg.mode = wfq::broker::LoadgenConfig::Mode::closed;
+        } else if (m == "open") {
+          cfg.mode = wfq::broker::LoadgenConfig::Mode::open;
+        } else {
+          throw std::invalid_argument("--mode must be closed or open");
+        }
+      } else if (a == "--window") {
+        cfg.window = static_cast<int>(parse_int(need("--window"), "--window"));
+        if (cfg.window < 1)
+          throw std::invalid_argument("--window must be >= 1");
+      } else if (a == "--rate") {
+        cfg.rate_per_conn =
+            static_cast<double>(parse_int(need("--rate"), "--rate"));
+      } else if (a == "--enq-only") {
+        cfg.pairs = false;
+      } else if (a == "--key-base") {
+        cfg.key_base =
+            static_cast<uint32_t>(parse_int(need("--key-base"), "--key-base"));
+      } else if (a == "--pin") {
+        cfg.pin_threads = true;
+      } else if (a == "--pin-offset") {
+        cfg.pin_offset =
+            static_cast<int>(parse_int(need("--pin-offset"), "--pin-offset"));
+      } else if (a == "--help" || a == "-h") {
+        usage(std::cout);
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown flag \"" + a + "\"");
+      }
+    }
+    if (!have_target) throw std::invalid_argument("need --uds or --tcp");
+    if (cfg.mode == wfq::broker::LoadgenConfig::Mode::open &&
+        cfg.rate_per_conn <= 0)
+      throw std::invalid_argument("open loop needs --rate > 0");
+  } catch (const std::exception& ex) {
+    std::cerr << "loadgen: " << ex.what() << "\n\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  wfq::broker::LoadgenResult r = wfq::broker::run_loadgen(cfg);
+  if (r.connect_failed) {
+    std::cerr << "loadgen: one or more connections failed (is the broker "
+                 "running?)\n";
+  }
+  const char* lat_kind =
+      cfg.mode == wfq::broker::LoadgenConfig::Mode::closed ? "rtt" : "sojourn";
+  std::cout << "loadgen: sent=" << r.sent << " acked=" << r.acked
+            << " errors=" << r.errors << " elapsed_s=" << r.elapsed_s
+            << " msgs_per_s=" << r.msgs_per_s << "\n";
+  std::cout << "loadgen: " << lat_kind
+            << "_p50_us=" << wfq::stats::percentile(r.latencies_us, 50)
+            << " p99_us=" << wfq::stats::percentile(r.latencies_us, 99)
+            << " p999_us=" << wfq::stats::percentile(r.latencies_us, 99.9)
+            << "\n";
+  return r.connect_failed ? 1 : 0;
+}

@@ -1,0 +1,147 @@
+// Shard map for the broker daemon (ISSUE 8 tentpole): N backing objects
+// built through the api seam, each owned by exactly one servicer thread.
+// The backing key is ANY registry spelling — a queue key ("ubq",
+// "bounded:g=64", "faaq") or a service key ("dwrr:4:ubq"), resolved with
+// the same strict parsers the seam uses everywhere (parse_service_key
+// first, queue_info otherwise, so malformed keys fail at construction with
+// the registry's own messages, not at first traffic).
+//
+// Routing: shard_of(key) = splitmix64(key) % nshards. Inside a dwrr-backed
+// shard, key % ntenants picks the tenant — so one client key always lands
+// on one shard AND one tenant, which is what makes per-key FIFO a testable
+// broker property.
+//
+// Threading contract: enqueue/dequeue/space_stats(shard) are called ONLY by
+// that shard's servicer (single-toucher, so backings are built with
+// procs = 1 and bound once); tenant_rows() reads the facade's documented
+// race-free atomic counters and may be called from any servicer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/queue_registry.hpp"
+#include "api/service_registry.hpp"
+#include "svc/service.hpp"
+
+namespace wfq::broker {
+
+/// splitmix64 finisher: cheap, well-mixed, deterministic across runs — the
+/// shard route of a key must be stable so FIFO-per-key is meaningful.
+inline uint64_t mix_key(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One tenant row of a STAT report (dwrr-backed shards only).
+struct TenantRow {
+  int tenant = 0;
+  uint32_t weight = 1;
+  uint64_t enqueued = 0;
+  uint64_t serviced = 0;
+};
+
+class ShardMap {
+ public:
+  /// Builds `nshards` backings of `backing_key`. `expected_ops` sizes
+  /// fixed-segment backings (faaq cell arrays) via api::sized_config, the
+  /// same contract the experiments follow.
+  ShardMap(int nshards, const std::string& backing_key, int64_t expected_ops) {
+    if (nshards < 1 || nshards > 4096)
+      throw std::invalid_argument(
+          "broker::ShardMap: shard count must be in [1, 4096] (got " +
+          std::to_string(nshards) + ")");
+    backing_ = backing_key;
+    api::QueueConfig cfg =
+        api::sized_config(1, api::Backend::real, expected_ops);
+    if (auto sk = api::parse_service_key(backing_key)) {
+      ntenants_ = sk->ntenants;
+      for (int s = 0; s < nshards; ++s)
+        services_.push_back(api::make_service<uint64_t>(backing_key, cfg));
+    } else {
+      (void)api::queue_info(backing_key);  // loud registry-side validation
+      for (int s = 0; s < nshards; ++s)
+        queues_.push_back(api::make_queue<uint64_t>(backing_key, cfg));
+    }
+    nshards_ = nshards;
+  }
+
+  int shards() const { return nshards_; }
+  const std::string& backing() const { return backing_; }
+  bool service_backed() const { return !services_.empty(); }
+  int tenants_per_shard() const { return ntenants_; }
+
+  int shard_of(uint32_t key) const {
+    return static_cast<int>(mix_key(key) % static_cast<uint64_t>(nshards_));
+  }
+
+  /// Servicer-thread setup: binds process slot 0 on shard `s`'s backing.
+  void bind_servicer(int s) {
+    if (service_backed())
+      services_[static_cast<size_t>(s)].bind_thread(0);
+    else
+      queues_[static_cast<size_t>(s)].bind_thread(0);
+  }
+
+  /// ENQ on shard `s` for routing key `key` (single-toucher contract).
+  void enqueue(int s, uint32_t key, uint64_t v) {
+    if (service_backed())
+      services_[static_cast<size_t>(s)].enqueue(
+          static_cast<int>(key % static_cast<uint32_t>(ntenants_)), v);
+    else
+      queues_[static_cast<size_t>(s)].enqueue(v);
+  }
+
+  /// DEQ on shard `s`: FIFO for queue backings; DWRR service order for
+  /// service backings (the key routed here but the scheduler picks the
+  /// tenant). `tenant_out` reports which tenant was served (-1 for queues).
+  std::optional<uint64_t> dequeue(int s, int& tenant_out) {
+    if (service_backed()) {
+      auto got = services_[static_cast<size_t>(s)].service_next();
+      if (!got) return std::nullopt;
+      tenant_out = got->tenant;
+      return got->value;
+    }
+    tenant_out = -1;
+    return queues_[static_cast<size_t>(s)].dequeue();
+  }
+
+  /// Space snapshot of shard `s`'s backing — servicer-thread only (the
+  /// single mutator reading its own object IS the quiescent case the
+  /// space_stats contract asks for).
+  api::SpaceStats space_stats(int s) {
+    if (service_backed())
+      return services_[static_cast<size_t>(s)].space_stats();
+    return queues_[static_cast<size_t>(s)].space_stats();
+  }
+
+  /// Per-tenant counters of shard `s` (dwrr backings; empty for queues).
+  /// Safe from any thread: reads the facade's atomic snapshot counters.
+  std::vector<TenantRow> tenant_rows(int s) const {
+    std::vector<TenantRow> rows;
+    if (!service_backed()) return rows;
+    const svc::ServiceFacade<uint64_t>& f = services_[static_cast<size_t>(s)];
+    for (int t = 0; t < ntenants_; ++t) {
+      auto st = f.tenant_stats(t);
+      rows.push_back({t, st.weight, st.enqueued, st.serviced});
+    }
+    return rows;
+  }
+
+ private:
+  std::string backing_;
+  int nshards_ = 0;
+  int ntenants_ = 0;
+  // Deques: backings hold atomics/mutexes and must never relocate while
+  // servicer threads hold into them.
+  std::deque<api::AnyQueue<uint64_t>> queues_;
+  std::deque<svc::ServiceFacade<uint64_t>> services_;
+};
+
+}  // namespace wfq::broker

@@ -1,0 +1,471 @@
+// Event loop for the broker daemon (ISSUE 8 tentpole, net layer): a single
+// I/O thread multiplexing any number of listeners and connections through
+// epoll (Linux) or poll(2) (fallback; force with -DWFQ_NET_FORCE_POLL to
+// exercise it on Linux — tests/broker builds a second e2e target that way).
+//
+// Read path: on a readable event the loop slurps the socket dry (read until
+// EAGAIN), feeds the connection's wfb-v1 Decoder, and hands ALL frames
+// decoded from that wakeup to on_batch in ONE call — the burst the broker
+// turns into one work-queue push per shard. Partial frames stay buffered in
+// the decoder; a framing error gets a best-effort ERR frame and the
+// connection is dropped (sticky decoder contract, see frame.hpp).
+//
+// Write path: send() is callable from ANY thread (the broker's servicer
+// threads respond directly — response syscalls scale with servicers instead
+// of funneling through this thread). If the connection's outbox is empty
+// the sender write()s inline under the connection's write mutex; leftovers
+// are buffered and the loop is woken through the self-pipe to arm
+// write-readiness and finish the flush.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <unistd.h>
+
+#include <poll.h>  // blocking flush in shutdown_flush_and_close
+#if defined(__linux__) && !defined(WFQ_NET_FORCE_POLL)
+#define WFQ_NET_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define WFQ_NET_EPOLL 0
+#endif
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace wfq::net {
+
+/// Readiness poller: epoll_ctl/epoll_wait on Linux, a rebuilt pollfd array
+/// otherwise. The fd set is loop-thread-only; no locking here.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+#if WFQ_NET_EPOLL
+  Poller() : ep_(::epoll_create1(0)) {
+    if (!ep_.valid())
+      throw std::runtime_error("net: epoll_create1 failed: " +
+                               std::string(std::strerror(errno)));
+  }
+
+  void add(int fd, bool want_write) { ctl(EPOLL_CTL_ADD, fd, want_write); }
+  void mod(int fd, bool want_write) { ctl(EPOLL_CTL_MOD, fd, want_write); }
+  void del(int fd) { ::epoll_ctl(ep_.get(), EPOLL_CTL_DEL, fd, nullptr); }
+
+  void wait(std::vector<Event>& out, int timeout_ms) {
+    epoll_event evs[64];
+    int n = ::epoll_wait(ep_.get(), evs, 64, timeout_ms);
+    out.clear();
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = evs[i].data.fd;
+      e.readable = (evs[i].events & (EPOLLIN | EPOLLERR)) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.hangup = (evs[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out.push_back(e);
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(ep_.get(), op, fd, &ev) != 0)
+      throw std::runtime_error("net: epoll_ctl failed: " +
+                               std::string(std::strerror(errno)));
+  }
+
+  FdHandle ep_;
+#else
+  void add(int fd, bool want_write) { fds_[fd] = want_write; }
+  void mod(int fd, bool want_write) { fds_[fd] = want_write; }
+  void del(int fd) { fds_.erase(fd); }
+
+  void wait(std::vector<Event>& out, int timeout_ms) {
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds_.size());
+    for (const auto& [fd, want_write] : fds_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+      pfds.push_back(p);
+    }
+    int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    out.clear();
+    if (n <= 0) return;
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLERR)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.hangup = (p.revents & (POLLHUP | POLLERR)) != 0;
+      out.push_back(e);
+    }
+  }
+
+ private:
+  std::unordered_map<int, bool> fds_;  // fd -> want_write
+#endif
+};
+
+/// The multiplexer. One thread calls run(); send()/stop()/wake() are safe
+/// from any thread. Connection ids are never reused, so a servicer holding
+/// an id across a disconnect sends into the void instead of into a
+/// recycled connection.
+class EventLoop {
+ public:
+  struct Callbacks {
+    /// One call per readable wakeup per connection, with every frame that
+    /// burst decoded. The batch is the caller's to move from.
+    std::function<void(uint64_t conn, std::vector<Frame>& batch)> on_batch;
+    /// Connection gone: `reason` is DecodeStatus::ok for a clean EOF at a
+    /// frame boundary, `truncated` for EOF mid-frame, or the framing error
+    /// that poisoned the stream. Optional.
+    std::function<void(uint64_t conn, DecodeStatus reason)> on_close;
+  };
+
+  explicit EventLoop(Callbacks cbs) : cbs_(std::move(cbs)) {
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+      throw std::runtime_error("net: pipe() for loop wakeup failed");
+    wake_rd_.reset(pipefd[0]);
+    wake_wr_.reset(pipefd[1]);
+    set_nonblocking(wake_rd_.get());
+    set_nonblocking(wake_wr_.get());
+    poller_.add(wake_rd_.get(), false);
+  }
+
+  /// Registers a listening socket (from listen_uds / listen_tcp). Must be
+  /// called before run(); accepted connections inherit nonblocking mode.
+  void add_listener(FdHandle fd) {
+    poller_.add(fd.get(), false);
+    listeners_.push_back(std::move(fd));
+  }
+
+  /// Queues `bytes` on the connection and flushes as much as the socket
+  /// takes, inline, from the calling thread. Thread-safe; no-op (returning
+  /// false) if the connection is gone. Callers batch: one send() per burst
+  /// of responses, not one per frame.
+  bool send(uint64_t conn_id, std::string&& bytes) {
+    std::shared_ptr<Conn> c = find_conn(conn_id);
+    if (!c) return false;
+    bool need_loop_flush = false;
+    {
+      std::lock_guard<std::mutex> lk(c->out_mutex);
+      if (c->closed) return false;
+      if (c->outbox.size() - c->out_pos > kMaxOutbox) {
+        // Peer stopped reading: shed it rather than buffer without bound.
+        c->kill = true;
+        need_loop_flush = true;
+      } else {
+        if (c->outbox.size() == c->out_pos) {
+          c->outbox.clear();
+          c->out_pos = 0;
+        }
+        c->outbox.append(bytes);
+        need_loop_flush = !flush_locked(*c);
+      }
+    }
+    if (need_loop_flush) {
+      mark_dirty(conn_id);
+      wake();
+    }
+    return true;
+  }
+
+  /// Runs until stop(). Dispatches on_batch/on_close from this thread.
+  void run() {
+    std::vector<Poller::Event> events;
+    while (!stop_.load(std::memory_order_acquire)) {
+      poller_.wait(events, 200);
+      drain_wake_pipe();
+      flush_dirty();
+      for (const Poller::Event& ev : events) {
+        if (ev.fd == wake_rd_.get()) continue;
+        if (is_listener(ev.fd)) {
+          accept_all(ev.fd);
+          continue;
+        }
+        Conn* c = conn_by_fd(ev.fd);
+        if (c == nullptr) continue;
+        if (ev.writable) on_writable(*c);
+        if (ev.readable || ev.hangup)
+          if (on_readable(*c)) continue;  // connection closed and erased
+      }
+      reap_killed();
+    }
+  }
+
+  /// Stops run() from any thread (idempotent). The loop finishes the
+  /// current dispatch; it does not drain — that is broker policy.
+  void stop() {
+    stop_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  /// Drain-path epilogue, called ONLY after run() has returned and every
+  /// sender thread has been joined (single-threaded access is then safe by
+  /// happens-before through those joins): flush each connection's pending
+  /// outbox — blocking briefly on writability, bounded so a peer that
+  /// never reads cannot wedge shutdown — then close every connection and
+  /// listener, so clients see EOF instead of a socket that never answers.
+  void shutdown_flush_and_close() {
+    for (auto& [fd_num, c] : by_fd_) {
+      std::unique_lock<std::mutex> lk(c->out_mutex);
+      for (int tries = 0; tries < 50 && !c->closed; ++tries) {
+        if (flush_locked(*c)) break;  // drained (or broken pipe -> kill)
+        pollfd p{};
+        p.fd = c->fd.get();
+        p.events = POLLOUT;
+        lk.unlock();
+        ::poll(&p, 1, 100);
+        lk.lock();
+      }
+    }
+    std::vector<Conn*> open;
+    for (auto& [fd_num, c] : by_fd_) open.push_back(c.get());
+    for (Conn* c : open)
+      if (!c->closed) close_conn(*c, DecodeStatus::ok);
+    for (FdHandle& l : listeners_) poller_.del(l.get());
+    listeners_.clear();
+  }
+
+  /// Nudges run() out of its wait (used by send() and stop()).
+  void wake() {
+    char b = 1;
+    [[maybe_unused]] ssize_t w = ::write(wake_wr_.get(), &b, 1);
+  }
+
+  size_t connections() const {
+    std::lock_guard<std::mutex> lk(conns_mutex_);
+    return by_id_.size();
+  }
+
+ private:
+  /// Outbox ceiling per connection (16 MiB): a client that never reads its
+  /// responses gets disconnected, not buffered until OOM.
+  static constexpr size_t kMaxOutbox = size_t{16} << 20;
+
+  struct Conn {
+    uint64_t id = 0;
+    FdHandle fd;
+    Decoder decoder;
+    // Write side, shared with sender threads.
+    std::mutex out_mutex;
+    std::string outbox;
+    size_t out_pos = 0;
+    bool closed = false;    // fd closed; senders must not touch it
+    bool kill = false;      // loop should close at next opportunity
+    bool armed_write = false;  // loop-owned: EPOLLOUT currently armed
+  };
+
+  std::shared_ptr<Conn> find_conn(uint64_t id) {
+    std::lock_guard<std::mutex> lk(conns_mutex_);
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+  }
+
+  Conn* conn_by_fd(int fd) {
+    auto it = by_fd_.find(fd);
+    return it == by_fd_.end() ? nullptr : it->second.get();
+  }
+
+  bool is_listener(int fd) const {
+    for (const FdHandle& l : listeners_)
+      if (l.get() == fd) return true;
+    return false;
+  }
+
+  void accept_all(int lfd) {
+    while (true) {
+      int cfd = ::accept(lfd, nullptr, nullptr);
+      if (cfd < 0) return;  // EAGAIN / transient — next wakeup retries
+      set_nonblocking(cfd);
+      auto c = std::make_shared<Conn>();
+      c->id = next_id_++;
+      c->fd.reset(cfd);
+      poller_.add(cfd, false);
+      by_fd_[cfd] = c;
+      std::lock_guard<std::mutex> lk(conns_mutex_);
+      by_id_[c->id] = c;
+    }
+  }
+
+  /// Reads the socket dry, dispatches the decoded burst. Returns true if
+  /// the connection was closed (caller must not touch it again).
+  bool on_readable(Conn& c) {
+    char buf[65536];
+    bool eof = false;
+    while (true) {
+      ssize_t n = ::read(c.fd.get(), buf, sizeof(buf));
+      if (n > 0) {
+        c.decoder.feed(buf, static_cast<size_t>(n));
+        if (n < static_cast<ssize_t>(sizeof(buf))) break;
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      eof = true;  // ECONNRESET and friends: treat as EOF
+      break;
+    }
+
+    batch_.clear();
+    Frame f;
+    DecodeStatus st;
+    while ((st = c.decoder.next(f)) == DecodeStatus::ok)
+      batch_.push_back(std::move(f));
+    if (!batch_.empty() && cbs_.on_batch) cbs_.on_batch(c.id, batch_);
+
+    if (st != DecodeStatus::need_more) {
+      // Framing error: best-effort ERR frame so a human at the other end
+      // sees WHY, then drop. The decoder is poisoned; nothing to salvage.
+      Frame e;
+      e.op = Opcode::err;
+      e.payload = std::string("decode error: ") + decode_status_name(st);
+      std::string out;
+      encode_frame(e, out);
+      {
+        std::lock_guard<std::mutex> lk(c.out_mutex);
+        c.outbox.append(out);
+        flush_locked(c);
+      }
+      close_conn(c, st);
+      return true;
+    }
+    if (eof) {
+      close_conn(c, c.decoder.at_eof());
+      return true;
+    }
+    return false;
+  }
+
+  /// Flushes as much of the outbox as the socket accepts. Caller holds
+  /// out_mutex. Returns true when the outbox is fully drained.
+  bool flush_locked(Conn& c) {
+    if (c.closed) return true;
+    while (c.out_pos < c.outbox.size()) {
+      ssize_t w = ::write(c.fd.get(), c.outbox.data() + c.out_pos,
+                          c.outbox.size() - c.out_pos);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+        c.kill = true;  // broken pipe: loop reaps it
+        return true;
+      }
+      c.out_pos += static_cast<size_t>(w);
+    }
+    c.outbox.clear();
+    c.out_pos = 0;
+    return true;
+  }
+
+  void on_writable(Conn& c) {
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lk(c.out_mutex);
+      drained = flush_locked(c);
+    }
+    if (drained && c.armed_write) {
+      poller_.mod(c.fd.get(), false);
+      c.armed_write = false;
+    }
+  }
+
+  void mark_dirty(uint64_t id) {
+    std::lock_guard<std::mutex> lk(dirty_mutex_);
+    dirty_.push_back(id);
+  }
+
+  /// Arms write-readiness for connections whose senders left bytes behind.
+  void flush_dirty() {
+    std::vector<uint64_t> ids;
+    {
+      std::lock_guard<std::mutex> lk(dirty_mutex_);
+      ids.swap(dirty_);
+    }
+    for (uint64_t id : ids) {
+      std::shared_ptr<Conn> c = find_conn(id);
+      if (!c || c->closed) continue;
+      bool drained;
+      {
+        std::lock_guard<std::mutex> lk(c->out_mutex);
+        drained = flush_locked(*c);
+      }
+      if (!drained && !c->armed_write) {
+        poller_.mod(c->fd.get(), true);
+        c->armed_write = true;
+      }
+    }
+  }
+
+  void reap_killed() {
+    std::vector<Conn*> doomed;
+    for (auto& [fd, c] : by_fd_) {
+      std::lock_guard<std::mutex> lk(c->out_mutex);
+      if (c->kill && !c->closed) doomed.push_back(c.get());
+    }
+    for (Conn* c : doomed) close_conn(*c, DecodeStatus::ok);
+  }
+
+  void close_conn(Conn& c, DecodeStatus reason) {
+    int fd = c.fd.get();
+    poller_.del(fd);
+    {
+      // Senders serialize on out_mutex: after `closed` flips they bail
+      // before touching the fd, so close() cannot race a concurrent write
+      // into a recycled descriptor.
+      std::lock_guard<std::mutex> lk(c.out_mutex);
+      c.closed = true;
+      c.fd.reset();
+    }
+    uint64_t id = c.id;
+    {
+      std::lock_guard<std::mutex> lk(conns_mutex_);
+      by_id_.erase(id);
+    }
+    by_fd_.erase(fd);  // destroys the map's shared_ptr; senders may hold one
+    if (cbs_.on_close) cbs_.on_close(id, reason);
+  }
+
+  void drain_wake_pipe() {
+    char buf[256];
+    while (::read(wake_rd_.get(), buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  Callbacks cbs_;
+  Poller poller_;
+  FdHandle wake_rd_, wake_wr_;
+  std::vector<FdHandle> listeners_;
+  std::unordered_map<int, std::shared_ptr<Conn>> by_fd_;  // loop-thread only
+  mutable std::mutex conns_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> by_id_;
+  std::mutex dirty_mutex_;
+  std::vector<uint64_t> dirty_;
+  std::vector<Frame> batch_;
+  uint64_t next_id_ = 1;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace wfq::net

@@ -1,0 +1,180 @@
+// Socket plumbing for the broker subsystem (ISSUE 8): RAII fd handle,
+// nonblocking Unix-domain + TCP listeners, and the matching client connect
+// helpers. Everything returns -1/false with errno preserved instead of
+// throwing — the event loop treats socket failure as a per-connection
+// event, not a process error — except listener setup, which throws
+// std::runtime_error with the failing address in the message (a daemon
+// that cannot bind its socket has nothing to fall back to).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace wfq::net {
+
+/// Owning fd wrapper: closes on destruction, movable, non-copyable.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  FdHandle(FdHandle&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  FdHandle& operator=(FdHandle&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  ~FdHandle() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+inline bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Fills a sockaddr_un, rejecting paths that would silently truncate.
+inline void fill_uds_addr(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("net: UDS path \"" + path +
+                             "\" is empty or longer than sun_path (" +
+                             std::to_string(sizeof(addr.sun_path) - 1) + ")");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+/// Nonblocking Unix-domain listener on `path`. An existing socket file at
+/// `path` is unlinked first (the daemon-restart idiom; a stale socket left
+/// by a killed broker must not wedge the next one).
+inline FdHandle listen_uds(const std::string& path, int backlog = 128) {
+  sockaddr_un addr;
+  fill_uds_addr(path, addr);
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid())
+    throw std::runtime_error("net: socket(AF_UNIX): " +
+                             std::string(std::strerror(errno)));
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw std::runtime_error("net: bind(" + path + "): " +
+                             std::string(std::strerror(errno)));
+  if (::listen(fd.get(), backlog) != 0)
+    throw std::runtime_error("net: listen(" + path + "): " +
+                             std::string(std::strerror(errno)));
+  if (!set_nonblocking(fd.get()))
+    throw std::runtime_error("net: set_nonblocking(" + path + ") failed");
+  return fd;
+}
+
+/// Nonblocking TCP listener on 127.0.0.1:<port>. Port 0 asks the kernel to
+/// pick; bound_tcp_port() reads the result back. Loopback-only on purpose:
+/// the broker has no auth story, so it must not listen on the wire.
+inline FdHandle listen_tcp(uint16_t port, int backlog = 128) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid())
+    throw std::runtime_error("net: socket(AF_INET): " +
+                             std::string(std::strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw std::runtime_error("net: bind(127.0.0.1:" + std::to_string(port) +
+                             "): " + std::string(std::strerror(errno)));
+  if (::listen(fd.get(), backlog) != 0)
+    throw std::runtime_error("net: listen(127.0.0.1:" + std::to_string(port) +
+                             "): " + std::string(std::strerror(errno)));
+  if (!set_nonblocking(fd.get()))
+    throw std::runtime_error("net: set_nonblocking(tcp) failed");
+  return fd;
+}
+
+/// Port a listener actually bound (resolves the port-0 "pick one" case).
+inline uint16_t bound_tcp_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+/// Blocking client connect to a UDS path; invalid handle + errno on failure.
+inline FdHandle connect_uds(const std::string& path) {
+  sockaddr_un addr;
+  fill_uds_addr(path, addr);
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return FdHandle();
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    return FdHandle();
+  return fd;
+}
+
+/// Blocking client connect to 127.0.0.1:<port>. TCP_NODELAY is set: the
+/// protocol is request/response with small frames, where Nagle + delayed
+/// ACK turns every closed-loop RTT into 40ms.
+inline FdHandle connect_tcp(uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return FdHandle();
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0)
+    return FdHandle();
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// write() the whole buffer on a BLOCKING fd, riding out EINTR and the
+/// nonblocking-peer case (EAGAIN busy-waits via a poll-less retry is wrong;
+/// client sockets in loadgen stay blocking, so EAGAIN means a real bug).
+inline bool write_all(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+inline bool write_all(int fd, const std::string& buf) {
+  return write_all(fd, buf.data(), buf.size());
+}
+
+}  // namespace wfq::net

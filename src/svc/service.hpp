@@ -84,6 +84,30 @@ class ServiceFacade {
     return total;
   }
 
+  /// One tenant's backing-queue block-space snapshot (AnyQueue::space_stats
+  /// contract: quiescent-only; `known == false` for baselines without a
+  /// space debug surface).
+  api::SpaceStats tenant_space_stats(int tenant) const {
+    return map_->entry(tenant).queue.space_stats();
+  }
+
+  /// Aggregate over every tenant's backing queue: summed live blocks and
+  /// EBR backlog. `known` only when every backing reports — a mixed or
+  /// baseline-backed facade must read "-", not a partial sum that looks
+  /// total. This is the surface the broker's STAT opcode and --report
+  /// expose, so E6-style space gates can be read from a live process.
+  api::SpaceStats space_stats() const {
+    api::SpaceStats total;
+    total.known = true;
+    for (int t = 0; t < map_->size(); ++t) {
+      api::SpaceStats s = map_->entry(t).queue.space_stats();
+      total.live_blocks += s.live_blocks;
+      total.ebr_retired += s.ebr_retired;
+      total.known = total.known && s.known;
+    }
+    return total;
+  }
+
   uint64_t rounds() const { return sched_->rounds(); }
   double round_service_estimate() const {
     return sched_->round_service_estimate();

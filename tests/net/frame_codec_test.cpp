@@ -1,0 +1,283 @@
+// wfb-v1 frame codec robustness (ISSUE 8 satellite): round-trips for every
+// assigned opcode, incremental decoding down to 1-byte feeds, and the full
+// typed-error surface — bad magic, bad version, unknown opcode, oversized
+// length, truncation at stream end — each rejected with its own status and
+// sticky thereafter. The fuzz section shreds random byte streams (valid
+// frames, corrupted frames, garbage) through random chunkings; under ASan
+// this is the no-crash/no-overread gate.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "tests/test_util.hpp"
+
+using namespace wfq;
+
+namespace {
+
+const std::vector<net::Opcode> kAllOpcodes = {
+    net::Opcode::enq,    net::Opcode::deq,       net::Opcode::stat,
+    net::Opcode::ping,   net::Opcode::enq_ok,    net::Opcode::deq_ok,
+    net::Opcode::deq_empty, net::Opcode::stat_ok, net::Opcode::pong,
+    net::Opcode::err};
+
+net::Frame sample_frame(net::Opcode op, uint32_t key) {
+  net::Frame f;
+  f.op = op;
+  f.flags = static_cast<uint16_t>(0xA000 | static_cast<uint8_t>(op));
+  f.key = key;
+  switch (op) {
+    case net::Opcode::enq:
+    case net::Opcode::deq_ok:
+      f.payload = net::encode_value(0x1122334455667788ULL + key);
+      break;
+    case net::Opcode::ping:
+    case net::Opcode::pong:
+      f.payload = "echo me \x00\x01\x02 with embedded NULs";
+      break;
+    case net::Opcode::stat_ok:
+      f.payload = "{\"schema\":\"wfq-broker-stat-v1\"}";
+      break;
+    case net::Opcode::err:
+      f.payload = "reason text";
+      break;
+    default:
+      break;  // empty-payload opcodes
+  }
+  return f;
+}
+
+void expect_frames_equal(const net::Frame& a, const net::Frame& b) {
+  CHECK(a.op == b.op);
+  CHECK_EQ(a.flags, b.flags);
+  CHECK_EQ(a.key, b.key);
+  CHECK_EQ(a.payload, b.payload);
+}
+
+/// Every opcode round-trips, both one-shot and 1 byte at a time.
+void test_round_trip_all_opcodes() {
+  for (net::Opcode op : kAllOpcodes) {
+    net::Frame in = sample_frame(op, 0xDEADBEEF);
+    std::string wire;
+    net::encode_frame(in, wire);
+    CHECK_EQ(wire.size(), net::kHeaderSize + in.payload.size());
+
+    {  // one-shot
+      net::Decoder d;
+      d.feed(wire);
+      net::Frame out;
+      CHECK(d.next(out) == net::DecodeStatus::ok);
+      expect_frames_equal(in, out);
+      CHECK(d.next(out) == net::DecodeStatus::need_more);
+      CHECK(d.at_eof() == net::DecodeStatus::ok);
+    }
+    {  // 1 byte at a time: need_more until the last byte lands
+      net::Decoder d;
+      net::Frame out;
+      for (size_t i = 0; i + 1 < wire.size(); ++i) {
+        d.feed(wire.data() + i, 1);
+        CHECK(d.next(out) == net::DecodeStatus::need_more);
+        CHECK(d.at_eof() == net::DecodeStatus::truncated);
+      }
+      d.feed(wire.data() + wire.size() - 1, 1);
+      CHECK(d.next(out) == net::DecodeStatus::ok);
+      expect_frames_equal(in, out);
+      CHECK(d.at_eof() == net::DecodeStatus::ok);
+    }
+  }
+}
+
+/// A back-to-back burst decodes into the same frames in order, for any
+/// chunking of the concatenated bytes.
+void test_burst_chunked() {
+  std::vector<net::Frame> frames;
+  std::string wire;
+  for (uint32_t k = 0; k < 32; ++k) {
+    frames.push_back(
+        sample_frame(kAllOpcodes[k % kAllOpcodes.size()], k));
+    net::encode_frame(frames.back(), wire);
+  }
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    net::Decoder d;
+    std::vector<net::Frame> got;
+    size_t off = 0;
+    while (off < wire.size()) {
+      size_t n = 1 + rng() % 97;
+      if (n > wire.size() - off) n = wire.size() - off;
+      d.feed(wire.data() + off, n);
+      off += n;
+      net::Frame f;
+      while (d.next(f) == net::DecodeStatus::ok) got.push_back(f);
+    }
+    CHECK_EQ(got.size(), frames.size());
+    for (size_t i = 0; i < got.size() && i < frames.size(); ++i)
+      expect_frames_equal(frames[i], got[i]);
+    CHECK(d.at_eof() == net::DecodeStatus::ok);
+    CHECK_EQ(d.pending(), size_t{0});
+  }
+}
+
+/// Each framing-error class yields its own typed status, and the status is
+/// STICKY: later feeds are dropped and next() keeps returning it.
+void test_typed_errors_sticky() {
+  std::string good;
+  net::encode_frame(sample_frame(net::Opcode::ping, 7), good);
+
+  struct Case {
+    const char* name;
+    size_t corrupt_at;
+    char value;
+    net::DecodeStatus want;
+  };
+  const Case cases[] = {
+      {"bad_magic", 0, 'X', net::DecodeStatus::bad_magic},
+      {"bad_version", 4, 9, net::DecodeStatus::bad_version},
+      {"bad_opcode", 5, 0x7f, net::DecodeStatus::bad_opcode},
+      // Opcode 0x00 sits below the request band and must also be rejected.
+      {"bad_opcode_zero", 5, 0x00, net::DecodeStatus::bad_opcode},
+  };
+  for (const Case& c : cases) {
+    std::string wire = good;
+    wire[c.corrupt_at] = c.value;
+    net::Decoder d;
+    d.feed(wire);
+    net::Frame f;
+    CHECK(d.next(f) == c.want);
+    CHECK(d.at_eof() == c.want);
+    // Sticky: feeding a pristine frame afterwards does not resurrect it.
+    d.feed(good);
+    CHECK(d.next(f) == c.want);
+    CHECK_EQ(d.pending(), size_t{0});  // poisoned decoder buffers nothing
+  }
+
+  {  // oversize: length field beyond kMaxPayload, caught from header alone
+    std::string wire = good;
+    uint32_t huge = net::kMaxPayload + 1;
+    for (int i = 0; i < 4; ++i)
+      wire[12 + static_cast<size_t>(i)] =
+          static_cast<char>((huge >> (8 * i)) & 0xff);
+    net::Decoder d;
+    d.feed(wire.data(), net::kHeaderSize);  // header only — no payload needed
+    net::Frame f;
+    CHECK(d.next(f) == net::DecodeStatus::oversize);
+    d.feed(good);
+    CHECK(d.next(f) == net::DecodeStatus::oversize);
+  }
+
+  {  // a payload of exactly kMaxPayload is legal, one more byte is not
+    net::Frame big = sample_frame(net::Opcode::ping, 1);
+    big.payload.assign(net::kMaxPayload, 'x');
+    std::string wire;
+    net::encode_frame(big, wire);
+    net::Decoder d;
+    d.feed(wire);
+    net::Frame f;
+    CHECK(d.next(f) == net::DecodeStatus::ok);
+    CHECK_EQ(f.payload.size(), size_t{net::kMaxPayload});
+  }
+}
+
+/// Truncation is an EOF-only diagnosis: mid-stream a cut frame just looks
+/// like need_more; at_eof() turns the pending prefix into `truncated`.
+void test_truncation() {
+  std::string wire;
+  net::encode_frame(sample_frame(net::Opcode::enq, 3), wire);
+  for (size_t cut = 1; cut < wire.size(); ++cut) {
+    net::Decoder d;
+    d.feed(wire.data(), cut);
+    net::Frame f;
+    CHECK(d.next(f) == net::DecodeStatus::need_more);
+    CHECK(d.at_eof() == net::DecodeStatus::truncated);
+    CHECK_EQ(d.pending(), cut);
+  }
+  // Full frame + a truncated second frame: first decodes, EOF still dirty.
+  std::string two = wire;
+  two.append(wire.data(), wire.size() - 1);
+  net::Decoder d;
+  d.feed(two);
+  net::Frame f;
+  CHECK(d.next(f) == net::DecodeStatus::ok);
+  CHECK(d.next(f) == net::DecodeStatus::need_more);
+  CHECK(d.at_eof() == net::DecodeStatus::truncated);
+}
+
+/// Value payload helpers: 8-byte contract, strict on any other size.
+void test_value_codec() {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xffffffffffffffff},
+                     uint64_t{0x0123456789abcdef}}) {
+    uint64_t out = 0;
+    CHECK(net::decode_value(net::encode_value(v), out));
+    CHECK_EQ(out, v);
+  }
+  uint64_t out = 0;
+  CHECK(!net::decode_value("", out));
+  CHECK(!net::decode_value("1234567", out));
+  CHECK(!net::decode_value("123456789", out));
+}
+
+/// Long-session compaction: the consumed prefix must not grow without
+/// bound. Decode far more bytes than the compaction threshold and check the
+/// buffered remainder stays burst-sized.
+void test_compaction_bounded() {
+  net::Decoder d;
+  std::string wire;
+  net::encode_frame(sample_frame(net::Opcode::deq, 1), wire);
+  net::Frame f;
+  for (int i = 0; i < 20'000; ++i) {
+    d.feed(wire);
+    CHECK(d.next(f) == net::DecodeStatus::ok);
+    CHECK(d.pending() == 0);
+  }
+  CHECK(d.at_eof() == net::DecodeStatus::ok);
+}
+
+/// Fuzz: random mutations of a valid stream, random chunk sizes. The only
+/// contract here is NO crash / no overread (ASan-audited) and that a
+/// poisoned decoder stays poisoned.
+void test_fuzz_no_crash() {
+  std::mt19937 rng(1234);
+  std::string base;
+  for (uint32_t k = 0; k < 16; ++k)
+    net::encode_frame(
+        sample_frame(kAllOpcodes[k % kAllOpcodes.size()], k), base);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string wire = base;
+    int mutations = static_cast<int>(rng() % 8);
+    for (int m = 0; m < mutations; ++m)
+      wire[rng() % wire.size()] = static_cast<char>(rng() & 0xff);
+    if (trial % 3 == 0) wire.resize(rng() % wire.size());  // random cut
+    net::Decoder d;
+    size_t off = 0;
+    net::DecodeStatus sticky = net::DecodeStatus::ok;
+    while (off < wire.size()) {
+      size_t n = 1 + rng() % 64;
+      if (n > wire.size() - off) n = wire.size() - off;
+      d.feed(wire.data() + off, n);
+      off += n;
+      net::Frame f;
+      net::DecodeStatus st;
+      while ((st = d.next(f)) == net::DecodeStatus::ok) {
+      }
+      if (st != net::DecodeStatus::need_more) {
+        if (sticky == net::DecodeStatus::ok) sticky = st;
+        CHECK(st == sticky);  // same typed error forever after
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  test_round_trip_all_opcodes();
+  test_burst_chunked();
+  test_typed_errors_sticky();
+  test_truncation();
+  test_value_codec();
+  test_compaction_bounded();
+  test_fuzz_no_crash();
+  return wfq::test::exit_code();
+}
