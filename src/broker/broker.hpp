@@ -18,11 +18,25 @@
 // response flushed — then join and leave the final counters readable
 // (report()). A group work queue that hits its backlog cap blocks the I/O
 // thread (backpressure through the kernel socket buffers), never drops.
+//
+// Cluster mode (ISSUE 10): with cfg.cluster set, the broker is one replica
+// of an N-node raft group (src/raft/). The replicated state machine is the
+// broker METADATA — shard count, backing key, DWRR tenant weights — not the
+// queue data: the shard map is built when the replicated config entry
+// applies, SETW commits through the log before acking, and only the leader
+// serves ENQ/DEQ (followers answer ERR_NOT_LEADER + hint; clients follow
+// it, see loadgen's ClusterClient). Queue contents are per-replica, so a
+// failover can lose items enqueued on the dead leader, and a client that
+// retries a timed-out ENQ can duplicate one — there is deliberately NO
+// exactly-once data contract across failover; the replicated guarantee
+// covers metadata only. Documented in docs/PROTOCOL.md.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -38,6 +52,7 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "platform/affinity.hpp"
+#include "raft/cluster.hpp"
 
 namespace wfq::broker {
 
@@ -57,6 +72,19 @@ struct BrokerConfig {
   bool pin_threads = false;
   /// Sizes fixed-segment backings (api::sized_config contract).
   int64_t expected_ops = int64_t{1} << 18;
+
+  // --- cluster mode (ISSUE 10): N-replica group over raft -----------------
+  /// When true, this broker is replica `node_id` of a group whose client
+  /// TCP ports are `peer_ports` (one per replica, index = node id;
+  /// peer_ports[node_id] must equal tcp_port). Only the leader serves
+  /// ENQ/DEQ/SETW; followers answer ERR_NOT_LEADER with a leader hint. The
+  /// shard map is built from the raft-replicated config entry, so every
+  /// replica provably runs the same topology.
+  bool cluster = false;
+  int node_id = 0;
+  std::vector<uint16_t> peer_ports;
+  uint64_t election_timeout_ms = 150;
+  uint64_t raft_seed = 0;  // 0 = node_id + 1
 };
 
 class Broker {
@@ -70,14 +98,33 @@ class Broker {
     uint64_t bad = 0;
   };
 
-  explicit Broker(BrokerConfig cfg)
-      : cfg_(std::move(cfg)),
-        map_(cfg_.shards, cfg_.backing, cfg_.expected_ops) {
+  explicit Broker(BrokerConfig cfg) : cfg_(std::move(cfg)) {
     if (cfg_.uds_path.empty() && cfg_.tcp_port < 0)
       throw std::invalid_argument(
           "broker::Broker: need a UDS path and/or a TCP port to listen on");
+    if (cfg_.cluster) {
+      size_t n = cfg_.peer_ports.size();
+      if (n < 1 || cfg_.node_id < 0 || static_cast<size_t>(cfg_.node_id) >= n)
+        throw std::invalid_argument(
+            "broker::Broker: cluster mode needs peer_ports with node_id in "
+            "range");
+      if (cfg_.tcp_port <= 0 ||
+          cfg_.peer_ports[static_cast<size_t>(cfg_.node_id)] !=
+              static_cast<uint16_t>(cfg_.tcp_port))
+        throw std::invalid_argument(
+            "broker::Broker: cluster mode requires tcp_port == "
+            "peer_ports[node_id] (peers dial fixed ports)");
+    }
     if (cfg_.groups <= 0 || cfg_.groups > cfg_.shards)
       cfg_.groups = cfg_.shards;
+    if (!cfg_.cluster) {
+      // Single-node: the map exists from birth, exactly as before cluster
+      // mode was added. Cluster replicas build it when the replicated
+      // config entry applies (see on_raft_apply).
+      map_ = std::make_unique<ShardMap>(cfg_.shards, cfg_.backing,
+                                        cfg_.expected_ops);
+      map_ready_.store(true, std::memory_order_release);
+    }
     for (int s = 0; s < cfg_.shards; ++s) shard_state_.emplace_back();
     for (int g = 0; g < cfg_.groups; ++g) groups_.emplace_back();
   }
@@ -101,6 +148,31 @@ class Broker {
       tcp_port_ = net::bound_tcp_port(fd.get());
       loop_->add_listener(std::move(fd));
     }
+    // The RaftService must exist before the I/O thread can route a frame:
+    // route() reads raft_ unsynchronized, which is only sound because after
+    // this point raft_ never changes until stop(). Peer dials retry, so
+    // starting it before the listeners' first accept costs nothing.
+    if (cfg_.cluster) {
+      raft::RaftServiceConfig rc;
+      rc.node_id = cfg_.node_id;
+      rc.peer_ports = cfg_.peer_ports;
+      rc.election_timeout_ms = cfg_.election_timeout_ms;
+      rc.seed = cfg_.raft_seed;
+      raft_ = std::make_unique<raft::RaftService>(
+          rc,
+          [this](uint64_t idx, const std::string& cmd) {
+            on_raft_apply(idx, cmd);
+          },
+          [this](bool leader) { on_raft_role(leader); },
+          [this]() -> std::optional<std::string> {
+            // Leader bootstrap: until SOME config entry has applied, keep
+            // proposing ours. Duplicates are idempotent at apply.
+            if (map_ready_.load(std::memory_order_acquire))
+              return std::nullopt;
+            return "cfg|" + std::to_string(cfg_.shards) + "|" + cfg_.backing;
+          });
+      raft_->start();
+    }
     for (int g = 0; g < cfg_.groups; ++g)
       groups_[static_cast<size_t>(g)].thread =
           std::thread([this, g] { servicer_main(g); });
@@ -115,6 +187,10 @@ class Broker {
   /// its servicer, flush responses, join. Idempotent; also the dtor path.
   void stop() {
     if (!started_ || stopped_.exchange(true)) return;
+    // Cluster drain: silence raft FIRST — the leader stops heartbeating, so
+    // the survivors elect a successor one election timeout later, while this
+    // replica still drains every client request it already read.
+    if (raft_) raft_->stop();
     loop_->stop();
     io_thread_.join();
     for (Group& g : groups_) {
@@ -135,9 +211,15 @@ class Broker {
   /// TCP port actually bound (resolves tcp_port = 0); 0 if no TCP listener.
   uint16_t tcp_port() const { return tcp_port_; }
 
-  int shards() const { return map_.shards(); }
+  int shards() const { return cfg_.shards; }
   int groups() const { return cfg_.groups; }
-  const std::string& backing() const { return map_.backing(); }
+  const std::string& backing() const { return cfg_.backing; }
+
+  /// Cluster-mode observability (false/defaults when not clustered).
+  bool is_leader() const { return raft_ ? raft_->is_leader() : true; }
+  bool serving() const {
+    return map_ready_.load(std::memory_order_acquire) && is_leader();
+  }
 
   ShardCounters counters(int shard) const {
     const ShardState& s = shard_state_[static_cast<size_t>(shard)];
@@ -170,9 +252,24 @@ class Broker {
   /// per-tenant rows for dwrr backings. Valid JSON — a monitoring script
   /// can json.load it straight off the socket.
   std::string stat_json() const {
+    bool ready = map_ready_.load(std::memory_order_acquire);
     std::ostringstream os;
-    os << "{\"schema\":\"wfq-broker-stat-v1\",\"backing\":\"" << map_.backing()
-       << "\",\"shards\":[";
+    os << "{\"schema\":\"wfq-broker-stat-v1\",\"backing\":\"" << cfg_.backing
+       << "\"";
+    if (raft_) {
+      // Raft section: how E15b's prober (and any monitor) finds the leader
+      // and watches commit progress. Followers answer STAT too — a stat
+      // probe must work exactly when ENQ/DEQ would be redirected.
+      os << ",\"raft\":{\"node\":" << raft_->node_id()
+         << ",\"cluster\":" << raft_->cluster_size()
+         << ",\"term\":" << raft_->term()
+         << ",\"role\":\"" << (raft_->is_leader() ? "leader" : "follower")
+         << "\",\"leader\":" << raft_->leader_hint()
+         << ",\"commit\":" << raft_->commit_index()
+         << ",\"applied\":" << raft_->last_applied()
+         << ",\"ready\":" << (ready ? "true" : "false") << "}";
+    }
+    os << ",\"shards\":[";
     for (int s = 0; s < shards(); ++s) {
       const ShardState& st = shard_state_[static_cast<size_t>(s)];
       ShardCounters c = counters(s);
@@ -187,7 +284,8 @@ class Broker {
            << ",\"ebr_retired\":"
            << st.space_retired.load(std::memory_order_relaxed);
       }
-      std::vector<TenantRow> tenants = map_.tenant_rows(s);
+      std::vector<TenantRow> tenants =
+          ready ? map_->tenant_rows(s) : std::vector<TenantRow>{};
       if (!tenants.empty()) {
         os << ",\"tenants\":[";
         for (size_t t = 0; t < tenants.size(); ++t) {
@@ -235,10 +333,22 @@ class Broker {
   };
 
   /// I/O-thread callback: bucket the burst by group, one append per group.
+  /// Raft-band frames peel off to the raft service here — peer traffic
+  /// never enters the work queues, so a backlogged servicer cannot delay a
+  /// heartbeat.
   void route(uint64_t conn, std::vector<net::Frame>& batch) {
     route_scratch_.assign(static_cast<size_t>(cfg_.groups), {});
     for (net::Frame& f : batch) {
-      int shard = map_.shard_of(f.key);
+      if (raft_ && f.op >= net::Opcode::raft_vote_req &&
+          f.op <= net::Opcode::raft_append_resp) {
+        raft_->deliver_frame(f);
+        continue;
+      }
+      // Same formula as ShardMap::shard_of, computable before the
+      // replicated map exists (cluster replicas must route — and reject —
+      // requests while still waiting for the config entry).
+      int shard = static_cast<int>(mix_key(f.key) %
+                                   static_cast<uint64_t>(cfg_.shards));
       route_scratch_[static_cast<size_t>(shard % cfg_.groups)].push_back(
           WorkItem{conn, shard, std::move(f)});
     }
@@ -257,10 +367,21 @@ class Broker {
     }
   }
 
+  /// Binds this servicer's shards once the map exists. Single-node brokers
+  /// bind immediately (the pre-cluster behavior); cluster replicas bind on
+  /// the first batch that arrives after the replicated config applied.
+  bool bind_if_ready(int g, bool& bound) {
+    if (bound) return true;
+    if (!map_ready_.load(std::memory_order_acquire)) return false;
+    for (int s = g; s < cfg_.shards; s += cfg_.groups) map_->bind_servicer(s);
+    bound = true;
+    return true;
+  }
+
   void servicer_main(int g) {
     if (cfg_.pin_threads) platform::pin_thread_to_core(1 + g);
-    for (int s = g; s < map_.shards(); s += cfg_.groups)
-      map_.bind_servicer(s);
+    bool bound = false;
+    bind_if_ready(g, bound);
     Group& grp = groups_[static_cast<size_t>(g)];
     std::deque<WorkItem> local;
     std::unordered_map<uint64_t, std::string> out;
@@ -274,32 +395,34 @@ class Broker {
       }
       grp.cv_room.notify_all();
       out.clear();
+      bool ready = bind_if_ready(g, bound);
       // A STAT in the batch gets fresh numbers for this group's shards:
       // refreshing here is the single-toucher reading its own objects, the
       // exact quiescent case the space_stats contract allows. Other groups'
       // shards report their last periodic snapshot.
-      for (const WorkItem& w : local)
-        if (w.frame.op == net::Opcode::stat) {
-          refresh_space(g);
-          break;
-        }
-      for (WorkItem& w : local) handle(w, out[w.conn]);
+      if (ready)
+        for (const WorkItem& w : local)
+          if (w.frame.op == net::Opcode::stat) {
+            refresh_space(g);
+            break;
+          }
+      for (WorkItem& w : local) handle(w, out[w.conn], ready);
       ops_since_space += local.size();
       local.clear();
       // One send per connection per batch: the whole burst of responses
       // is one buffer, one (usual-case) write syscall from this thread.
       for (auto& [conn, buf] : out) loop_->send(conn, std::move(buf));
-      if (ops_since_space >= 1024) {
+      if (ready && ops_since_space >= 1024) {
         ops_since_space = 0;
         refresh_space(g);
       }
     }
-    refresh_space(g);  // drain complete: leave a final snapshot behind
+    if (bound) refresh_space(g);  // drain complete: final snapshot behind
   }
 
   void refresh_space(int g) {
-    for (int s = g; s < map_.shards(); s += cfg_.groups) {
-      api::SpaceStats sp = map_.space_stats(s);
+    for (int s = g; s < cfg_.shards; s += cfg_.groups) {
+      api::SpaceStats sp = map_->space_stats(s);
       ShardState& st = shard_state_[static_cast<size_t>(s)];
       st.space_live.store(sp.live_blocks, std::memory_order_relaxed);
       st.space_retired.store(sp.ebr_retired, std::memory_order_relaxed);
@@ -307,14 +430,35 @@ class Broker {
     }
   }
 
+  /// Leader/readiness gate for data-path requests in cluster mode:
+  /// followers (and replicas still waiting for the replicated config)
+  /// answer ERR_NOT_LEADER carrying the best leader hint, and the client
+  /// redirects (docs/PROTOCOL.md). Single-node brokers never take it.
+  bool not_leader(bool ready) const {
+    return raft_ && (!ready || !raft_->is_leader());
+  }
+
+  void fill_not_leader(net::Frame& resp) const {
+    resp.op = net::Opcode::err_not_leader;
+    int hint = raft_ ? raft_->leader_hint() : -1;
+    resp.payload = net::encode_u32(
+        hint >= 0 ? static_cast<uint32_t>(hint) : 0xffffffffu);
+  }
+
   /// Executes one request on its shard, appends the encoded response.
-  void handle(WorkItem& w, std::string& out) {
+  /// `ready` = this servicer has a bound shard map (always true outside
+  /// cluster mode).
+  void handle(WorkItem& w, std::string& out, bool ready) {
     ShardState& st = shard_state_[static_cast<size_t>(w.shard)];
     net::Frame resp;
     resp.key = w.frame.key;
     resp.flags = w.frame.flags;
     switch (w.frame.op) {
       case net::Opcode::enq: {
+        if (not_leader(ready)) {
+          fill_not_leader(resp);
+          break;
+        }
         uint64_t v = 0;
         if (!net::decode_value(w.frame.payload, v)) {
           st.bad.fetch_add(1, std::memory_order_relaxed);
@@ -322,14 +466,18 @@ class Broker {
           resp.payload = "ENQ payload must be exactly 8 bytes";
           break;
         }
-        map_.enqueue(w.shard, w.frame.key, v);
+        map_->enqueue(w.shard, w.frame.key, v);
         st.enq.fetch_add(1, std::memory_order_relaxed);
         resp.op = net::Opcode::enq_ok;
         break;
       }
       case net::Opcode::deq: {
+        if (not_leader(ready)) {
+          fill_not_leader(resp);
+          break;
+        }
         int tenant = -1;
-        std::optional<uint64_t> got = map_.dequeue(w.shard, tenant);
+        std::optional<uint64_t> got = map_->dequeue(w.shard, tenant);
         if (got) {
           st.deq_hit.fetch_add(1, std::memory_order_relaxed);
           resp.op = net::Opcode::deq_ok;
@@ -353,6 +501,45 @@ class Broker {
         resp.op = net::Opcode::pong;
         resp.payload = std::move(w.frame.payload);
         break;
+      case net::Opcode::setw: {
+        uint32_t tenant = 0, weight = 0;
+        if (!net::decode_u32_pair(w.frame.payload, tenant, weight)) {
+          st.bad.fetch_add(1, std::memory_order_relaxed);
+          resp.op = net::Opcode::err;
+          resp.payload = "SETW payload must be 8 bytes: u32 tenant, u32 weight";
+          break;
+        }
+        if (not_leader(ready)) {
+          fill_not_leader(resp);
+          break;
+        }
+        if (raft_) {
+          // Replicate through the log; the response is deferred until the
+          // entry APPLIES (on_raft_apply), so SETW_OK means "committed and
+          // visible on this leader", not "received". pending_mu_ is held
+          // across propose-and-register: the raft thread cannot deliver the
+          // apply until it can take pending_mu_, so registration wins even
+          // if the entry commits instantly.
+          std::lock_guard<std::mutex> lk(pending_mu_);
+          uint64_t idx = raft_->propose("w|" + std::to_string(tenant) + "|" +
+                                        std::to_string(weight));
+          if (idx == 0) {
+            fill_not_leader(resp);
+            break;
+          }
+          pending_setw_[idx] = PendingSetw{w.conn, w.frame.key, w.frame.flags};
+          return;  // no response yet
+        }
+        if (map_->set_weight_all(static_cast<int>(tenant), weight)) {
+          resp.op = net::Opcode::setw_ok;
+        } else {
+          st.bad.fetch_add(1, std::memory_order_relaxed);
+          resp.op = net::Opcode::err;
+          resp.payload = "SETW rejected: dwrr backing required, tenant in "
+                         "range, weight >= 1";
+        }
+        break;
+      }
       default:
         // Response-band opcodes are valid frames but not valid REQUESTS.
         st.bad.fetch_add(1, std::memory_order_relaxed);
@@ -364,11 +551,115 @@ class Broker {
     net::encode_frame(resp, out);
   }
 
+  /// Raft apply (raft thread, index order, exactly once per committed
+  /// entry). Two command shapes, both replica-deterministic:
+  ///   "cfg|<shards>|<backing>" — the cluster topology. The FIRST one to
+  ///     apply builds the shard map; every replica therefore serves the
+  ///     same topology no matter whose CLI won the race. A replica whose
+  ///     own CLI flags disagree with the committed config refuses to serve
+  ///     (loud stderr, stays not-ready) rather than silently diverging.
+  ///     Later duplicates (bootstrap re-proposals) are ignored.
+  ///   "w|<tenant>|<weight>" — DWRR weight update, applied to all shards.
+  void on_raft_apply(uint64_t index, const std::string& cmd) {
+    bool ok = false;
+    if (cmd.rfind("cfg|", 0) == 0) {
+      std::string rest = cmd.substr(4);
+      size_t bar = rest.find('|');
+      if (bar != std::string::npos) {
+        int shards = std::atoi(rest.substr(0, bar).c_str());
+        std::string backing = rest.substr(bar + 1);
+        if (map_ready_.load(std::memory_order_acquire)) {
+          ok = true;  // duplicate bootstrap proposal
+        } else if (shards != cfg_.shards || backing != cfg_.backing) {
+          std::fprintf(stderr,
+                       "broker: replicated config (%d shards, %s) disagrees "
+                       "with CLI (%d shards, %s); this replica will NOT "
+                       "serve — fix the flags and restart\n",
+                       shards, backing.c_str(), cfg_.shards,
+                       cfg_.backing.c_str());
+        } else {
+          map_ = std::make_unique<ShardMap>(cfg_.shards, cfg_.backing,
+                                            cfg_.expected_ops);
+          map_ready_.store(true, std::memory_order_release);
+          ok = true;
+        }
+      }
+    } else if (cmd.rfind("w|", 0) == 0) {
+      std::string rest = cmd.substr(2);
+      size_t bar = rest.find('|');
+      if (bar != std::string::npos &&
+          map_ready_.load(std::memory_order_acquire)) {
+        int tenant = std::atoi(rest.substr(0, bar).c_str());
+        uint32_t weight = static_cast<uint32_t>(
+            std::strtoul(rest.substr(bar + 1).c_str(), nullptr, 10));
+        ok = map_->set_weight_all(tenant, weight);
+      }
+    }
+    // If this entry was a SETW this replica proposed, answer the client now
+    // — SETW_OK strictly after commit+apply.
+    std::optional<PendingSetw> p;
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      auto it = pending_setw_.find(index);
+      if (it != pending_setw_.end()) {
+        p = it->second;
+        pending_setw_.erase(it);
+      }
+    }
+    if (p) {
+      net::Frame resp;
+      resp.key = p->key;
+      resp.flags = p->flags;
+      if (ok) {
+        resp.op = net::Opcode::setw_ok;
+      } else {
+        resp.op = net::Opcode::err;
+        resp.payload = "SETW rejected: dwrr backing required, tenant in "
+                       "range, weight >= 1";
+      }
+      std::string buf;
+      net::encode_frame(resp, buf);
+      loop_->send(p->conn, std::move(buf));
+    }
+  }
+
+  /// Role transitions (raft thread). On stepping down, fail every pending
+  /// SETW with ERR_NOT_LEADER — the entry may still commit under the new
+  /// leader, but this replica can no longer promise to report it, and the
+  /// weight update is idempotent for a retrying client.
+  void on_raft_role(bool leader) {
+    if (leader) return;
+    std::unordered_map<uint64_t, PendingSetw> orphans;
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      orphans.swap(pending_setw_);
+    }
+    for (auto& [idx, p] : orphans) {
+      net::Frame resp;
+      resp.key = p.key;
+      resp.flags = p.flags;
+      fill_not_leader(resp);
+      std::string buf;
+      net::encode_frame(resp, buf);
+      loop_->send(p.conn, std::move(buf));
+    }
+  }
+
+  struct PendingSetw {
+    uint64_t conn = 0;
+    uint32_t key = 0;
+    uint16_t flags = 0;
+  };
+
   BrokerConfig cfg_;
-  ShardMap map_;
+  std::unique_ptr<ShardMap> map_;  // cluster mode: built at config apply
+  std::atomic<bool> map_ready_{false};
   std::deque<ShardState> shard_state_;
   std::deque<Group> groups_;
   std::unique_ptr<net::EventLoop> loop_;
+  std::unique_ptr<raft::RaftService> raft_;  // null outside cluster mode
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, PendingSetw> pending_setw_;  // log idx -> conn
   std::thread io_thread_;
   std::vector<std::vector<WorkItem>> route_scratch_;  // I/O thread only
   uint16_t tcp_port_ = 0;

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "broker/broker.hpp"
 #include "net/frame.hpp"
@@ -28,7 +29,8 @@ void on_signal(int) {
 
 void usage(std::ostream& os) {
   os << "usage: broker --uds <path> [--tcp <port>] [options]\n"
-        "       broker --report <uds-path>\n"
+        "       broker --cluster <id>/<n> --peers <p0,p1,...> [options]\n"
+        "       broker --report <uds-path> [--timeout <ms>]\n"
         "\n"
         "  --uds <path>      listen on a Unix-domain socket at <path>\n"
         "  --tcp <port>      also listen on 127.0.0.1:<port> (0 = pick)\n"
@@ -41,7 +43,13 @@ void usage(std::ostream& os) {
         "  --ops <n>         expected op volume, sizes fixed-segment\n"
         "                    backings (default 262144)\n"
         "  --pin             pin I/O + servicer threads to cores\n"
+        "  --cluster <i>/<n> run as replica i of an n-replica raft group\n"
+        "  --peers <csv>     the n replica TCP ports, in node-id order;\n"
+        "                    this replica listens on its own entry\n"
+        "  --election-ms <t> raft election timeout base (default 150)\n"
+        "  --raft-seed <s>   election jitter seed (default node id + 1)\n"
         "  --report <path>   client mode: print a live broker's STAT JSON\n"
+        "  --timeout <ms>    report-mode connect/read budget (default 5000)\n"
         "  --help, -h        this text\n";
 }
 
@@ -55,14 +63,18 @@ int64_t parse_int(const std::string& s, const char* flag) {
   return std::stoll(s);
 }
 
-/// Client mode: one STAT round trip against a live broker.
-int report_mode(const std::string& uds_path) {
-  wfq::net::FdHandle fd = wfq::net::connect_uds(uds_path);
+/// Client mode: one STAT round trip against a live broker. Connect, send,
+/// and every read are bounded by `timeout_ms` (ISSUE 10 satellite): a hung
+/// or partitioned broker yields a clean error, not a wedged CLI.
+int report_mode(const std::string& uds_path, uint64_t timeout_ms) {
+  wfq::net::FdHandle fd = wfq::net::connect_uds_timeout(uds_path, timeout_ms);
   if (!fd.valid()) {
     std::cerr << "broker: cannot connect to " << uds_path << ": "
               << std::strerror(errno) << "\n";
     return 1;
   }
+  wfq::net::set_recv_timeout(fd.get(), timeout_ms);
+  wfq::net::set_send_timeout(fd.get(), timeout_ms);
   wfq::net::Frame req;
   req.op = wfq::net::Opcode::stat;
   std::string wire;
@@ -76,6 +88,11 @@ int report_mode(const std::string& uds_path) {
   char buf[65536];
   while (true) {
     ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::cerr << "broker: STAT response timed out after " << timeout_ms
+                << "ms (broker hung or partitioned?)\n";
+      return 1;
+    }
     if (n <= 0) {
       std::cerr << "broker: connection closed before STAT response\n";
       return 1;
@@ -98,11 +115,46 @@ int report_mode(const std::string& uds_path) {
   return 0;
 }
 
+/// "i/n" for --cluster: replica id i of an n-replica group.
+void parse_cluster(const std::string& s, wfq::broker::BrokerConfig& cfg,
+                   int& expect_n) {
+  size_t slash = s.find('/');
+  if (slash == std::string::npos)
+    throw std::invalid_argument("--cluster wants <id>/<n>, e.g. 0/3");
+  cfg.cluster = true;
+  cfg.node_id = static_cast<int>(
+      parse_int(s.substr(0, slash), "--cluster id"));
+  expect_n = static_cast<int>(
+      parse_int(s.substr(slash + 1), "--cluster size"));
+  if (expect_n < 1 || cfg.node_id < 0 || cfg.node_id >= expect_n)
+    throw std::invalid_argument("--cluster needs 0 <= id < n");
+}
+
+std::vector<uint16_t> parse_ports_csv(const std::string& s) {
+  std::vector<uint16_t> ports;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    std::string tok =
+        s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                 : comma - pos);
+    int64_t p = parse_int(tok, "--peers");
+    if (p < 1 || p > 65535)
+      throw std::invalid_argument("--peers ports must be in [1, 65535]");
+    ports.push_back(static_cast<uint16_t>(p));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ports;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   wfq::broker::BrokerConfig cfg;
   std::string report_path;
+  uint64_t timeout_ms = 5000;
+  int expect_n = 0;
   try {
     for (int i = 1; i < argc; ++i) {
       std::string a = argv[i];
@@ -131,8 +183,23 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("--ops must be >= 1");
       } else if (a == "--pin") {
         cfg.pin_threads = true;
+      } else if (a == "--cluster") {
+        parse_cluster(need("--cluster"), cfg, expect_n);
+      } else if (a == "--peers") {
+        cfg.peer_ports = parse_ports_csv(need("--peers"));
+      } else if (a == "--election-ms") {
+        int64_t t = parse_int(need("--election-ms"), "--election-ms");
+        if (t < 1) throw std::invalid_argument("--election-ms must be >= 1");
+        cfg.election_timeout_ms = static_cast<uint64_t>(t);
+      } else if (a == "--raft-seed") {
+        cfg.raft_seed = static_cast<uint64_t>(
+            parse_int(need("--raft-seed"), "--raft-seed"));
       } else if (a == "--report") {
         report_path = need("--report");
+      } else if (a == "--timeout") {
+        int64_t t = parse_int(need("--timeout"), "--timeout");
+        if (t < 1) throw std::invalid_argument("--timeout must be >= 1");
+        timeout_ms = static_cast<uint64_t>(t);
       } else if (a == "--help" || a == "-h") {
         usage(std::cout);
         return 0;
@@ -140,9 +207,17 @@ int main(int argc, char** argv) {
         throw std::invalid_argument("unknown flag \"" + a + "\"");
       }
     }
-    if (!report_path.empty()) return report_mode(report_path);
+    if (!report_path.empty()) return report_mode(report_path, timeout_ms);
+    if (cfg.cluster) {
+      if (static_cast<int>(cfg.peer_ports.size()) != expect_n)
+        throw std::invalid_argument(
+            "--peers must list exactly the --cluster n ports");
+      // This replica listens on its own --peers entry; peers dial it there.
+      cfg.tcp_port =
+          static_cast<int>(cfg.peer_ports[static_cast<size_t>(cfg.node_id)]);
+    }
     if (cfg.uds_path.empty() && cfg.tcp_port < 0)
-      throw std::invalid_argument("need --uds and/or --tcp");
+      throw std::invalid_argument("need --uds and/or --tcp (or --cluster)");
   } catch (const std::exception& ex) {
     std::cerr << "broker: " << ex.what() << "\n\n";
     usage(std::cerr);
@@ -169,7 +244,11 @@ int main(int argc, char** argv) {
                                        : cfg.uds_path);
     if (cfg.tcp_port >= 0)
       std::cerr << " and 127.0.0.1:" << broker.tcp_port();
-    std::cerr << " (" << broker.groups() << " servicer thread(s))\n";
+    std::cerr << " (" << broker.groups() << " servicer thread(s))";
+    if (cfg.cluster)
+      std::cerr << " as raft replica " << cfg.node_id << "/"
+                << cfg.peer_ports.size();
+    std::cerr << "\n";
 
     char b;
     while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {

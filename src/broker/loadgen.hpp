@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,18 +56,147 @@ struct LoadgenConfig {
   /// Pin connection threads to cores starting at pin_offset (best-effort).
   bool pin_threads = false;
   int pin_offset = 0;
+
+  // --- cluster mode (ISSUE 10) --------------------------------------------
+  /// Non-empty: target an N-replica raft group instead of a single broker
+  /// (uds_path/tcp_port are ignored). Entry i is replica i's TCP port. Each
+  /// connection becomes a ClusterClient: strict one-in-flight, following
+  /// ERR_NOT_LEADER hints and riding out failovers by redirect-and-retry.
+  /// Closed-loop only (window forced to 1 — a redirected pipeline has no
+  /// well-defined response order).
+  std::vector<uint16_t> cluster_ports;
+  uint64_t connect_timeout_ms = 200;  // per connect attempt
+  uint64_t read_timeout_ms = 500;     // per response wait
+  uint64_t give_up_ms = 15000;        // total budget for one request
 };
 
 struct LoadgenResult {
   uint64_t sent = 0;
   uint64_t acked = 0;   // responses received (any kind)
   uint64_t errors = 0;  // ERR responses
+  uint64_t redirects = 0;  // ERR_NOT_LEADER hops (cluster mode)
   double elapsed_s = 0;
   double msgs_per_s = 0;  // acked / elapsed
   /// One entry per response, microseconds. Closed loop: request RTT.
   /// Open loop: sojourn from SCHEDULED send time (queue delay included).
   std::vector<double> latencies_us;
   bool connect_failed = false;
+};
+
+/// Leader-following client for a broker replica group (ISSUE 10): one
+/// request in flight, one response expected. On ERR_NOT_LEADER it hops to
+/// the hinted replica; on connect failure, response timeout, or EOF (the
+/// leader was SIGKILLed mid-request) it drops the connection and tries the
+/// next replica — so a request outlives a failover as long as SOME leader
+/// emerges within give_up_ms. Retry semantics: a request that timed out may
+/// still have executed on the dying leader, so data ops are retried
+/// at-least-once; only the replicated metadata ops (SETW) are idempotent by
+/// design. Used by loadgen's cluster mode, the E15 probers, and the cluster
+/// e2e test.
+class ClusterClient {
+ public:
+  struct Options {
+    std::vector<uint16_t> ports;  // replica TCP ports, node-id order
+    uint64_t connect_timeout_ms = 200;
+    uint64_t read_timeout_ms = 500;
+    uint64_t give_up_ms = 15000;
+  };
+
+  explicit ClusterClient(Options opts) : opts_(std::move(opts)) {}
+
+  /// One request/response round trip, redirecting as needed. Returns the
+  /// terminal response (never ERR_NOT_LEADER), or std::nullopt when no
+  /// replica answered within give_up_ms.
+  std::optional<net::Frame> request(const net::Frame& req) {
+    auto start = std::chrono::steady_clock::now();
+    auto expired = [&] {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count() >= static_cast<int64_t>(opts_.give_up_ms);
+    };
+    std::string wire;
+    net::encode_frame(req, wire);
+    while (!expired()) {
+      if (!fd_.valid() && !connect_current()) {
+        advance(-1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      if (!net::write_all(fd_.get(), wire)) {
+        drop_and_advance(-1);
+        continue;
+      }
+      std::optional<net::Frame> resp = read_one();
+      if (!resp) {
+        drop_and_advance(-1);
+        continue;
+      }
+      if (resp->op == net::Opcode::err_not_leader) {
+        ++redirects_;
+        uint32_t hint = 0xffffffffu;
+        net::decode_u32(resp->payload, hint);
+        int next = (hint != 0xffffffffu &&
+                    hint < opts_.ports.size())
+                       ? static_cast<int>(hint)
+                       : -1;
+        // The follower connection stays healthy; only switch targets.
+        if (next != current_) drop_and_advance(next);
+        else std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      return resp;
+    }
+    return std::nullopt;
+  }
+
+  uint64_t redirects() const { return redirects_; }
+  int current() const { return current_; }
+
+ private:
+  bool connect_current() {
+    fd_ = net::connect_tcp_timeout(
+        opts_.ports[static_cast<size_t>(current_)], opts_.connect_timeout_ms);
+    if (!fd_.valid()) return false;
+    net::set_recv_timeout(fd_.get(), opts_.read_timeout_ms);
+    net::set_send_timeout(fd_.get(), opts_.read_timeout_ms);
+    dec_ = net::Decoder();
+    return true;
+  }
+
+  /// Blocks (bounded by SO_RCVTIMEO) for exactly one frame. nullopt on
+  /// timeout, EOF, or a poisoned stream.
+  std::optional<net::Frame> read_one() {
+    net::Frame f;
+    if (dec_.next(f) == net::DecodeStatus::ok) return f;  // leftovers
+    char buf[65536];
+    while (true) {
+      ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;  // timeout (EAGAIN), EOF, or error
+      dec_.feed(buf, static_cast<size_t>(n));
+      net::DecodeStatus st = dec_.next(f);
+      if (st == net::DecodeStatus::ok) return f;
+      if (st != net::DecodeStatus::need_more) return std::nullopt;
+    }
+  }
+
+  /// Next target: the hinted replica, or round-robin when no usable hint.
+  void advance(int hint) {
+    current_ = hint >= 0 ? hint
+                         : (current_ + 1) % static_cast<int>(
+                                                opts_.ports.size());
+  }
+
+  void drop_and_advance(int hint) {
+    fd_.reset();
+    advance(hint);
+  }
+
+  Options opts_;
+  net::FdHandle fd_;
+  net::Decoder dec_;
+  int current_ = 0;
+  uint64_t redirects_ = 0;
 };
 
 namespace detail {
@@ -78,7 +208,7 @@ inline double us_since(Clock::time_point t0, Clock::time_point t1) {
 }
 
 struct ConnStats {
-  uint64_t sent = 0, acked = 0, errors = 0;
+  uint64_t sent = 0, acked = 0, errors = 0, redirects = 0;
   std::vector<double> latencies_us;
   bool failed = false;
 };
@@ -153,6 +283,46 @@ inline void closed_loop_conn(const LoadgenConfig& cfg, int index,
     }
     if (!read_responses(fd.get(), dec, pending, outstanding, st)) return;
   }
+}
+
+/// One cluster-mode connection: strict one-in-flight through a
+/// ClusterClient, so every request survives redirects and failovers
+/// individually. Latency covers the WHOLE retry journey — a request that
+/// rode out a failover reports the failover in its RTT, which is exactly
+/// what E15b measures.
+inline void cluster_loop_conn(const LoadgenConfig& cfg, int index,
+                              ConnStats& st) {
+  if (cfg.pin_threads)
+    platform::pin_thread_to_core(cfg.pin_offset + index);
+  ClusterClient::Options o;
+  o.ports = cfg.cluster_ports;
+  o.connect_timeout_ms = cfg.connect_timeout_ms;
+  o.read_timeout_ms = cfg.read_timeout_ms;
+  o.give_up_ms = cfg.give_up_ms;
+  ClusterClient cc(o);
+  const uint32_t key = cfg.key_base + static_cast<uint32_t>(index);
+  uint64_t seq = 0;
+  while (st.acked < static_cast<uint64_t>(cfg.msgs_per_conn)) {
+    net::Frame f;
+    f.key = key;
+    if (cfg.pairs && (st.sent % 2 == 1)) {
+      f.op = net::Opcode::deq;
+    } else {
+      f.op = net::Opcode::enq;
+      f.payload = net::encode_value(seq++);
+    }
+    Clock::time_point t0 = Clock::now();
+    ++st.sent;
+    std::optional<net::Frame> resp = cc.request(f);
+    if (!resp) {
+      st.failed = true;  // no leader emerged within give_up_ms
+      break;
+    }
+    st.latencies_us.push_back(us_since(t0, Clock::now()));
+    ++st.acked;
+    if (resp->op == net::Opcode::err) ++st.errors;
+  }
+  st.redirects = cc.redirects();
 }
 
 /// One open-loop connection: a writer paces requests on an absolute
@@ -268,7 +438,9 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
   for (int c = 0; c < cfg.connections; ++c) {
     detail::ConnStats& st = stats[static_cast<size_t>(c)];
     threads.emplace_back([&cfg, c, &st] {
-      if (cfg.mode == LoadgenConfig::Mode::closed)
+      if (!cfg.cluster_ports.empty())
+        detail::cluster_loop_conn(cfg, c, st);
+      else if (cfg.mode == LoadgenConfig::Mode::closed)
         detail::closed_loop_conn(cfg, c, st);
       else
         detail::open_loop_conn(cfg, c, st);
@@ -283,6 +455,7 @@ inline LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
     r.sent += st.sent;
     r.acked += st.acked;
     r.errors += st.errors;
+    r.redirects += st.redirects;
     r.connect_failed = r.connect_failed || st.failed;
     r.latencies_us.insert(r.latencies_us.end(), st.latencies_us.begin(),
                           st.latencies_us.end());

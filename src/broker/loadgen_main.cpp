@@ -12,10 +12,15 @@
 namespace {
 
 void usage(std::ostream& os) {
-  os << "usage: loadgen (--uds <path> | --tcp <port>) [options]\n"
+  os << "usage: loadgen (--uds <path> | --tcp <port> | --cluster <csv>) "
+        "[options]\n"
         "\n"
         "  --uds <path>      connect over the Unix-domain socket at <path>\n"
         "  --tcp <port>      connect to 127.0.0.1:<port>\n"
+        "  --cluster <csv>   replica TCP ports in node-id order; requests\n"
+        "                    follow ERR_NOT_LEADER redirects and ride out\n"
+        "                    failovers (closed loop, window 1)\n"
+        "  --timeout <ms>    cluster mode per-response wait (default 500)\n"
         "  --conns <c>       concurrent connections (default 1)\n"
         "  --msgs <n>        requests per connection (default 1000)\n"
         "  --mode <m>        closed | open (default closed)\n"
@@ -37,6 +42,24 @@ int64_t parse_int(const std::string& s, const char* flag) {
     throw std::invalid_argument(std::string("bad integer \"") + s +
                                 "\" for " + flag);
   return std::stoll(s);
+}
+
+std::vector<uint16_t> parse_ports_csv(const std::string& s) {
+  std::vector<uint16_t> ports;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    std::string tok =
+        s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                 : comma - pos);
+    int64_t p = parse_int(tok, "--cluster");
+    if (p < 1 || p > 65535)
+      throw std::invalid_argument("--cluster ports must be in [1, 65535]");
+    ports.push_back(static_cast<uint16_t>(p));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ports;
 }
 
 }  // namespace
@@ -62,6 +85,13 @@ int main(int argc, char** argv) {
           throw std::invalid_argument("--tcp port must be in [1, 65535]");
         cfg.tcp_port = static_cast<uint16_t>(p);
         have_target = true;
+      } else if (a == "--cluster") {
+        cfg.cluster_ports = parse_ports_csv(need("--cluster"));
+        have_target = true;
+      } else if (a == "--timeout") {
+        int64_t t = parse_int(need("--timeout"), "--timeout");
+        if (t < 1) throw std::invalid_argument("--timeout must be >= 1");
+        cfg.read_timeout_ms = static_cast<uint64_t>(t);
       } else if (a == "--conns") {
         cfg.connections =
             static_cast<int>(parse_int(need("--conns"), "--conns"));
@@ -104,7 +134,11 @@ int main(int argc, char** argv) {
         throw std::invalid_argument("unknown flag \"" + a + "\"");
       }
     }
-    if (!have_target) throw std::invalid_argument("need --uds or --tcp");
+    if (!have_target)
+      throw std::invalid_argument("need --uds, --tcp, or --cluster");
+    if (!cfg.cluster_ports.empty() &&
+        cfg.mode == wfq::broker::LoadgenConfig::Mode::open)
+      throw std::invalid_argument("--cluster is closed-loop only");
     if (cfg.mode == wfq::broker::LoadgenConfig::Mode::open &&
         cfg.rate_per_conn <= 0)
       throw std::invalid_argument("open loop needs --rate > 0");
@@ -123,7 +157,9 @@ int main(int argc, char** argv) {
       cfg.mode == wfq::broker::LoadgenConfig::Mode::closed ? "rtt" : "sojourn";
   std::cout << "loadgen: sent=" << r.sent << " acked=" << r.acked
             << " errors=" << r.errors << " elapsed_s=" << r.elapsed_s
-            << " msgs_per_s=" << r.msgs_per_s << "\n";
+            << " msgs_per_s=" << r.msgs_per_s;
+  if (!cfg.cluster_ports.empty()) std::cout << " redirects=" << r.redirects;
+  std::cout << "\n";
   std::cout << "loadgen: " << lat_kind
             << "_p50_us=" << wfq::stats::percentile(r.latencies_us, 50)
             << " p99_us=" << wfq::stats::percentile(r.latencies_us, 99)

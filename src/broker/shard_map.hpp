@@ -26,18 +26,15 @@
 
 #include "api/queue_registry.hpp"
 #include "api/service_registry.hpp"
+#include "core/hash.hpp"
 #include "svc/service.hpp"
 
 namespace wfq::broker {
 
-/// splitmix64 finisher: cheap, well-mixed, deterministic across runs — the
-/// shard route of a key must be stable so FIFO-per-key is meaningful.
-inline uint64_t mix_key(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+/// Shard-routing mix: the shared splitmix64 finisher (core/hash.hpp) —
+/// cheap, well-mixed, deterministic across runs, so the shard route of a
+/// key is stable and FIFO-per-key is meaningful.
+inline uint64_t mix_key(uint64_t x) { return core::splitmix64(x); }
 
 /// One tenant row of a STAT report (dwrr-backed shards only).
 struct TenantRow {
@@ -119,6 +116,17 @@ class ShardMap {
     if (service_backed())
       return services_[static_cast<size_t>(s)].space_stats();
     return queues_[static_cast<size_t>(s)].space_stats();
+  }
+
+  /// Sets tenant `t`'s DWRR weight on EVERY shard. Safe from any thread
+  /// (the facade's set_weight is an atomic store the schedulers read at
+  /// their next refresh) — the raft apply path calls this from the raft
+  /// thread while servicers run. No-op for queue backings or out-of-range
+  /// tenants; returns whether it applied.
+  bool set_weight_all(int t, uint32_t w) {
+    if (!service_backed() || t < 0 || t >= ntenants_ || w == 0) return false;
+    for (auto& svc : services_) svc.set_weight(t, w);
+    return true;
   }
 
   /// Per-tenant counters of shard `s` (dwrr backings; empty for queues).

@@ -1,0 +1,44 @@
+// Shared integer-mixing utilities (ISSUE 10 satellite): splitmix64 used to
+// live inside src/broker/shard_map.hpp; the raft subsystem's seeded election
+// jitter and the svc traffic generator need the same mix, so it is hoisted
+// here once instead of copied. The finisher is Steele/Lea/Flood's splitmix64:
+// cheap, well-mixed, a pure function — callers rely on a key's image being
+// stable across runs (shard routing) and on distinct seeds mapping to
+// decorrelated streams (jitter).
+#pragma once
+
+#include <cstdint>
+
+namespace wfq::core {
+
+/// splitmix64 finisher. Maps every input (0 included) to a well-mixed
+/// 64-bit value; deterministic across runs and platforms.
+inline uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Tiny seeded PRNG over repeated splitmix64 steps: next() advances the
+/// state by the golden-ratio increment and returns the finished mix. Every
+/// seed (0 included) yields a full-period stream — unlike raw xorshift64*,
+/// which has a fixed point at 0 that callers had to reject by hand.
+class SplitMix {
+ public:
+  explicit SplitMix(uint64_t seed) : state_(seed) {}
+  uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  /// Uniform value in [0, n); n must be >= 1.
+  uint64_t below(uint64_t n) { return next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wfq::core

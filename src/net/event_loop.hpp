@@ -365,8 +365,10 @@ class EventLoop {
   bool flush_locked(Conn& c) {
     if (c.closed) return true;
     while (c.out_pos < c.outbox.size()) {
-      ssize_t w = ::write(c.fd.get(), c.outbox.data() + c.out_pos,
-                          c.outbox.size() - c.out_pos);
+      // MSG_NOSIGNAL: a connection torn down between poll and write (dead
+      // raft peer, vanished client) must be EPIPE -> kill, not SIGPIPE.
+      ssize_t w = ::send(c.fd.get(), c.outbox.data() + c.out_pos,
+                         c.outbox.size() - c.out_pos, MSG_NOSIGNAL);
       if (w < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return false;

@@ -40,6 +40,14 @@ enum class Opcode : uint8_t {
   deq = 0x02,   // payload: empty
   stat = 0x03,  // payload: empty
   ping = 0x04,  // payload: arbitrary (echoed back verbatim in pong)
+  setw = 0x05,  // payload: 8 bytes, u32 tenant + u32 weight (LE); cluster
+                // mode replicates through the raft log before acking
+  // raft band (replica -> replica, request band; key = sender node id,
+  // payload = raft::encode_body of the matching message type)
+  raft_vote_req = 0x10,
+  raft_vote_resp = 0x11,
+  raft_append_req = 0x12,
+  raft_append_resp = 0x13,
   // responses
   enq_ok = 0x81,     // payload: empty
   deq_ok = 0x82,     // payload: 8 bytes, the dequeued value
@@ -47,6 +55,11 @@ enum class Opcode : uint8_t {
   stat_ok = 0x84,    // payload: JSON stat report (see broker::Broker)
   pong = 0x85,       // payload: the ping payload, echoed
   err = 0x86,        // payload: human-readable reason; peer should close
+  setw_ok = 0x87,    // payload: empty (weight applied — in cluster mode,
+                     // committed and applied on the leader)
+  err_not_leader = 0x88,  // payload: 4 bytes LE, the current leader's node
+                          // id, or 0xffffffff when unknown; client should
+                          // redirect (docs/PROTOCOL.md)
 };
 
 /// True iff `op` is one of the assigned opcode values.
@@ -56,12 +69,19 @@ inline bool opcode_known(uint8_t op) {
     case Opcode::deq:
     case Opcode::stat:
     case Opcode::ping:
+    case Opcode::setw:
+    case Opcode::raft_vote_req:
+    case Opcode::raft_vote_resp:
+    case Opcode::raft_append_req:
+    case Opcode::raft_append_resp:
     case Opcode::enq_ok:
     case Opcode::deq_ok:
     case Opcode::deq_empty:
     case Opcode::stat_ok:
     case Opcode::pong:
     case Opcode::err:
+    case Opcode::setw_ok:
+    case Opcode::err_not_leader:
       return true;
   }
   return false;
@@ -73,12 +93,19 @@ inline const char* opcode_name(Opcode op) {
     case Opcode::deq: return "DEQ";
     case Opcode::stat: return "STAT";
     case Opcode::ping: return "PING";
+    case Opcode::setw: return "SETW";
+    case Opcode::raft_vote_req: return "RAFT_VOTE_REQ";
+    case Opcode::raft_vote_resp: return "RAFT_VOTE_RESP";
+    case Opcode::raft_append_req: return "RAFT_APPEND_REQ";
+    case Opcode::raft_append_resp: return "RAFT_APPEND_RESP";
     case Opcode::enq_ok: return "ENQ_OK";
     case Opcode::deq_ok: return "DEQ_OK";
     case Opcode::deq_empty: return "DEQ_EMPTY";
     case Opcode::stat_ok: return "STAT_OK";
     case Opcode::pong: return "PONG";
     case Opcode::err: return "ERR";
+    case Opcode::setw_ok: return "SETW_OK";
+    case Opcode::err_not_leader: return "ERR_NOT_LEADER";
   }
   return "?";
 }
@@ -172,6 +199,38 @@ inline std::string encode_value(uint64_t v) {
   for (int i = 0; i < 8; ++i)
     s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   return s;
+}
+
+/// Packs two uint32s as an 8-byte LE payload (SETW: tenant then weight).
+inline std::string encode_u32_pair(uint32_t a, uint32_t b) {
+  std::string s;
+  s.reserve(8);
+  detail::put_u32(s, a);
+  detail::put_u32(s, b);
+  return s;
+}
+
+inline bool decode_u32_pair(const std::string& payload, uint32_t& a,
+                            uint32_t& b) {
+  if (payload.size() != 8) return false;
+  a = detail::get_u32(payload.data());
+  b = detail::get_u32(payload.data() + 4);
+  return true;
+}
+
+/// Packs one uint32 as a 4-byte LE payload (ERR_NOT_LEADER leader hint;
+/// 0xffffffff = leader unknown).
+inline std::string encode_u32(uint32_t v) {
+  std::string s;
+  s.reserve(4);
+  detail::put_u32(s, v);
+  return s;
+}
+
+inline bool decode_u32(const std::string& payload, uint32_t& out) {
+  if (payload.size() != 4) return false;
+  out = detail::get_u32(payload.data());
+  return true;
 }
 
 /// Reads an 8-byte little-endian value payload; false if the size is wrong.

@@ -18,7 +18,9 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -157,13 +159,103 @@ inline FdHandle connect_tcp(uint16_t port) {
   return fd;
 }
 
-/// write() the whole buffer on a BLOCKING fd, riding out EINTR and the
+/// Bounded receive/send timeouts on a blocking socket (SO_RCVTIMEO /
+/// SO_SNDTIMEO). After this, read()/write() return -1 with EAGAIN when the
+/// peer stalls past `ms` — the CLI paths (broker --report, loadgen,
+/// ClusterClient) use it so a hung or partitioned broker yields a clean
+/// error instead of wedging forever (ISSUE 10 satellite).
+inline bool set_recv_timeout(int fd, uint64_t ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+inline bool set_send_timeout(int fd, uint64_t ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+namespace detail {
+
+/// Finishes a nonblocking connect within `timeout_ms`: polls for
+/// writability, then checks SO_ERROR (a writable socket may still hold a
+/// deferred ECONNREFUSED). Restores blocking mode on success.
+inline FdHandle finish_timed_connect(FdHandle fd, const sockaddr* addr,
+                                     socklen_t addrlen, uint64_t timeout_ms) {
+  if (!set_nonblocking(fd.get())) return FdHandle();
+  if (::connect(fd.get(), addr, addrlen) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) return FdHandle();
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {
+      errno = (rc == 0) ? ETIMEDOUT : errno;
+      return FdHandle();
+    }
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &elen) != 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return FdHandle();
+    }
+  }
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0)
+    return FdHandle();
+  return fd;
+}
+
+}  // namespace detail
+
+/// connect_tcp with a connect deadline: gives up after `timeout_ms` instead
+/// of the kernel's multi-minute SYN retry schedule. Returns a BLOCKING fd
+/// with TCP_NODELAY set, like connect_tcp.
+inline FdHandle connect_tcp_timeout(uint16_t port, uint64_t timeout_ms) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return FdHandle();
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  fd = detail::finish_timed_connect(std::move(fd),
+                                    reinterpret_cast<sockaddr*>(&addr),
+                                    sizeof(addr), timeout_ms);
+  if (!fd.valid()) return FdHandle();
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// connect_uds with a connect deadline; UDS connects only block when the
+/// listener's backlog is full, i.e. exactly when the broker is wedged.
+inline FdHandle connect_uds_timeout(const std::string& path,
+                                    uint64_t timeout_ms) {
+  sockaddr_un addr;
+  fill_uds_addr(path, addr);
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return FdHandle();
+  return detail::finish_timed_connect(std::move(fd),
+                                      reinterpret_cast<sockaddr*>(&addr),
+                                      sizeof(addr), timeout_ms);
+}
+
+/// send() the whole buffer on a BLOCKING socket, riding out EINTR and the
 /// nonblocking-peer case (EAGAIN busy-waits via a poll-less retry is wrong;
 /// client sockets in loadgen stay blocking, so EAGAIN means a real bug).
+/// MSG_NOSIGNAL: a peer that died mid-conversation (a SIGKILLed cluster
+/// replica, a vanished client) must surface as EPIPE => false, not as a
+/// process-killing SIGPIPE — every caller handles the false.
 inline bool write_all(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    ssize_t w = ::write(fd, data + off, n - off);
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -1,0 +1,185 @@
+// Deterministic discrete-event harness running N raft::Node replicas against
+// a sim::NetPolicy adversary (ISSUE 10). Single-threaded: a virtual clock
+// advances millisecond by millisecond; each ms every live node ticks, and
+// in-flight messages whose delivery time has arrived are handed to their
+// destination in (time, sequence) order. Because the only sources of
+// nondeterminism are the two SplitMix streams (election jitter inside each
+// node, drop/delay/partition draws inside the policy), a (node seeds, net
+// seed) tuple replays bit-for-bit — the safety suite leans on that.
+//
+// Safety instrumentation is built in rather than bolted on: leadership is
+// observed after EVERY event (tick or delivery), so a leader that exists for
+// a single event is still recorded in leaders_by_term and checked for
+// election safety; applied commands are recorded per node for prefix-
+// agreement checks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "raft/raft.hpp"
+#include "sim/net_policy.hpp"
+
+namespace wfq::raft {
+
+struct SimClusterConfig {
+  int nodes = 5;
+  uint64_t election_timeout_ms = 50;
+  uint64_t node_seed_base = 1;  // node i seeds with base + i
+  sim::NetPolicyConfig net;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(SimClusterConfig cfg)
+      : cfg_(cfg), net_(cfg.net, cfg.nodes) {
+    applied_.resize(static_cast<size_t>(cfg.nodes));
+    alive_.assign(static_cast<size_t>(cfg.nodes), 1);
+    for (int i = 0; i < cfg.nodes; ++i) {
+      NodeConfig nc;
+      nc.id = i;
+      nc.peers = cfg.nodes;
+      nc.election_timeout_ms = cfg.election_timeout_ms;
+      nc.seed = cfg.node_seed_base + static_cast<uint64_t>(i);
+      nodes_.push_back(std::make_unique<Node>(
+          nc,
+          [this, i](int to, const Message& m) { route(i, to, m); },
+          [this, i](uint64_t idx, const std::string& cmd) {
+            applied_[static_cast<size_t>(i)].push_back({idx, cmd});
+          }));
+      nodes_.back()->start(0);
+    }
+    observe();
+  }
+
+  /// Runs the cluster for `ms` virtual milliseconds.
+  void run_for(uint64_t ms) {
+    uint64_t end = now_ + ms;
+    while (now_ < end) {
+      ++now_;
+      net_.advance(now_);
+      // Deliver everything due at or before now_, in (time, seq) order.
+      while (!inflight_.empty() && inflight_.begin()->first.first <= now_) {
+        auto it = inflight_.begin();
+        Pending p = std::move(it->second);
+        inflight_.erase(it);
+        if (alive_[static_cast<size_t>(p.to)]) {
+          nodes_[static_cast<size_t>(p.to)]->on_message(p.msg, now_);
+          observe();
+        }
+      }
+      for (int i = 0; i < cfg_.nodes; ++i) {
+        if (!alive_[static_cast<size_t>(i)]) continue;
+        nodes_[static_cast<size_t>(i)]->tick(now_);
+        observe();
+      }
+    }
+  }
+
+  /// Permanently crashes a node: it stops ticking and all its traffic (both
+  /// directions, including messages already in flight) is discarded. There
+  /// is deliberately no restart — the core has no stable storage, so a
+  /// rejoining replica must be a new identity (see raft.hpp header note).
+  void crash(int id) {
+    alive_[static_cast<size_t>(id)] = 0;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (it->second.to == id || it->second.from == id)
+        it = inflight_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  /// Proposes `cmd` on the current leader if one is visible; returns true
+  /// when some live node accepted it.
+  bool propose(const std::string& cmd) {
+    for (int i = 0; i < cfg_.nodes; ++i) {
+      if (alive_[static_cast<size_t>(i)] &&
+          nodes_[static_cast<size_t>(i)]->role() == Role::leader &&
+          nodes_[static_cast<size_t>(i)]->propose(cmd, now_) != 0) {
+        observe();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Ends the adversary: heals partitions, stops drops. The suite then runs
+  /// the cluster further and asserts convergence.
+  void heal() { net_.heal_forever(); }
+
+  uint64_t now() const { return now_; }
+  Node& node(int id) { return *nodes_[static_cast<size_t>(id)]; }
+  bool alive(int id) const { return alive_[static_cast<size_t>(id)] != 0; }
+  int live_count() const {
+    int n = 0;
+    for (char a : alive_) n += a ? 1 : 0;
+    return n;
+  }
+
+  struct Applied {
+    uint64_t index;
+    std::string cmd;
+  };
+  const std::vector<Applied>& applied(int id) const {
+    return applied_[static_cast<size_t>(id)];
+  }
+
+  /// term -> set of node ids ever observed as leader in that term. Election
+  /// safety == every entry has size 1.
+  const std::map<uint64_t, std::vector<int>>& leaders_by_term() const {
+    return leaders_by_term_;
+  }
+
+  int current_leader() const {
+    for (int i = 0; i < cfg_.nodes; ++i)
+      if (alive_[static_cast<size_t>(i)] &&
+          nodes_[static_cast<size_t>(i)]->role() == Role::leader)
+        return i;
+    return -1;
+  }
+
+ private:
+  struct Pending {
+    int from;
+    int to;
+    Message msg;
+  };
+
+  void route(int from, int to, const Message& m) {
+    if (!alive_[static_cast<size_t>(from)]) return;
+    sim::SendFate f = net_.on_send(from, to);
+    if (f.drop) return;
+    uint64_t at = now_ + f.delay_ms;
+    inflight_.emplace(std::make_pair(at, seq_++), Pending{from, to, m});
+  }
+
+  /// Records any node currently in the leader role under its term. Called
+  /// after every event so even one-event leaderships are captured.
+  void observe() {
+    for (int i = 0; i < cfg_.nodes; ++i) {
+      if (!alive_[static_cast<size_t>(i)]) continue;
+      if (nodes_[static_cast<size_t>(i)]->role() != Role::leader) continue;
+      auto& v = leaders_by_term_[nodes_[static_cast<size_t>(i)]->term()];
+      bool seen = false;
+      for (int id : v) seen |= (id == i);
+      if (!seen) v.push_back(i);
+    }
+  }
+
+  SimClusterConfig cfg_;
+  sim::NetPolicy net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<char> alive_;
+  std::vector<std::vector<Applied>> applied_;
+  std::map<std::pair<uint64_t, uint64_t>, Pending> inflight_;
+  uint64_t seq_ = 0;
+  uint64_t now_ = 0;
+  std::map<uint64_t, std::vector<int>> leaders_by_term_;
+};
+
+}  // namespace wfq::raft

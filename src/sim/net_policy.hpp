@@ -1,0 +1,117 @@
+// Seeded message-level network adversary for the raft sim harness (ISSUE 10).
+// The shared-memory baton scheduler in scheduler.hpp adversarially interleaves
+// atomic steps; raft is message-passing, so its adversary instead decides the
+// fate of every send: dropped, delayed by how much, or blocked by the current
+// partition. Everything is derived from one core::SplitMix stream, so a
+// (seed, params) pair names one exact network behavior — the sim suite replays
+// hundreds of such schedules and asserts safety on each.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hash.hpp"
+
+namespace wfq::sim {
+
+/// Per-send verdict returned by NetPolicy::on_send.
+struct SendFate {
+  bool drop = false;
+  uint64_t delay_ms = 0;  // delivery latency when not dropped
+};
+
+struct NetPolicyConfig {
+  uint64_t seed = 1;
+  /// Probability (in 1/256 units) that any single message is dropped.
+  /// 26 ≈ 10% loss. Applies on top of partitions.
+  uint32_t drop_per_256 = 26;
+  /// Delivery delay is uniform in [min_delay_ms, max_delay_ms].
+  uint64_t min_delay_ms = 1;
+  uint64_t max_delay_ms = 10;
+  /// Partition churn: every [min,max] ms the policy re-draws the partition —
+  /// either heals the network or splits the n nodes in two random sides
+  /// (messages crossing sides are dropped). 0 repartition_max_ms disables
+  /// partitions entirely.
+  uint64_t repartition_min_ms = 100;
+  uint64_t repartition_max_ms = 400;
+  /// Probability (in 1/256 units) that a re-draw heals instead of splits.
+  uint32_t heal_per_256 = 96;
+};
+
+class NetPolicy {
+ public:
+  NetPolicy(NetPolicyConfig cfg, int nodes)
+      : cfg_(cfg), nodes_(nodes), rng_(cfg.seed), side_(size_t(nodes), 0) {
+    schedule_next_repartition(0);
+  }
+
+  /// Advances the partition schedule to virtual time `now_ms`. Call before
+  /// consulting on_send for sends happening at `now_ms`.
+  void advance(uint64_t now_ms) {
+    while (cfg_.repartition_max_ms != 0 && now_ms >= next_repartition_ms_) {
+      redraw_partition();
+      schedule_next_repartition(next_repartition_ms_);
+    }
+  }
+
+  /// Heals the network and stops future partitions/drops; the sim suite
+  /// calls this for its "after the storm, the cluster must converge" phase.
+  void heal_forever() {
+    cfg_.repartition_max_ms = 0;
+    cfg_.drop_per_256 = 0;
+    for (auto& s : side_) s = 0;
+    partitioned_ = false;
+  }
+
+  SendFate on_send(int from, int to) {
+    SendFate f;
+    if (partitioned_ &&
+        side_[static_cast<size_t>(from)] != side_[static_cast<size_t>(to)]) {
+      f.drop = true;
+      return f;
+    }
+    if (cfg_.drop_per_256 != 0 && rng_.below(256) < cfg_.drop_per_256) {
+      f.drop = true;
+      return f;
+    }
+    f.delay_ms = cfg_.min_delay_ms +
+                 rng_.below(cfg_.max_delay_ms - cfg_.min_delay_ms + 1);
+    return f;
+  }
+
+  bool partitioned() const { return partitioned_; }
+
+ private:
+  void schedule_next_repartition(uint64_t from_ms) {
+    if (cfg_.repartition_max_ms == 0) return;
+    next_repartition_ms_ =
+        from_ms + cfg_.repartition_min_ms +
+        rng_.below(cfg_.repartition_max_ms - cfg_.repartition_min_ms + 1);
+  }
+
+  void redraw_partition() {
+    if (rng_.below(256) < cfg_.heal_per_256) {
+      partitioned_ = false;
+      for (auto& s : side_) s = 0;
+      return;
+    }
+    // Split into two non-empty sides: each node flips a coin; if the draw
+    // degenerates (all one side), force node 0 across.
+    partitioned_ = true;
+    int ones = 0;
+    for (auto& s : side_) {
+      s = static_cast<char>(rng_.below(2));
+      ones += s;
+    }
+    if (ones == 0 || ones == nodes_) side_[0] ^= 1;
+  }
+
+  NetPolicyConfig cfg_;
+  int nodes_;
+  core::SplitMix rng_;
+  std::vector<char> side_;
+  bool partitioned_ = false;
+  uint64_t next_repartition_ms_ = 0;
+};
+
+}  // namespace wfq::sim

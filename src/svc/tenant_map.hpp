@@ -18,6 +18,7 @@
 
 #include "api/concurrent_queue.hpp"
 #include "api/queue_registry.hpp"
+#include "core/hash.hpp"
 
 namespace wfq::svc {
 
@@ -114,14 +115,12 @@ class ZipfTraffic {
       throw std::invalid_argument("svc::ZipfTraffic: skew must be >= 0");
     if (burst < 1)
       throw std::invalid_argument("svc::ZipfTraffic: burst must be >= 1");
-    // splitmix64 pass: maps every seed (0 included) to a full-period
-    // xorshift64* state, unlike feeding the raw seed in (0 is its fixed
-    // point — the trap RandomPolicy rejects loudly; here we can mix
-    // instead because the seed is never replayed by spec string).
-    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    state_ = z ^ (z >> 31);
+    // splitmix64 pass (shared finisher, core/hash.hpp): maps every seed
+    // (0 included) to a full-period xorshift64* state, unlike feeding the
+    // raw seed in (0 is its fixed point — the trap RandomPolicy rejects
+    // loudly; here we can mix instead because the seed is never replayed
+    // by spec string).
+    state_ = core::splitmix64(seed);
     if (state_ == 0) state_ = 0x9e3779b97f4a7c15ULL;
     cdf_.reserve(static_cast<size_t>(ntenants));
     double total = 0;

@@ -18,10 +18,15 @@ using namespace wfq;
 namespace {
 
 const std::vector<net::Opcode> kAllOpcodes = {
-    net::Opcode::enq,    net::Opcode::deq,       net::Opcode::stat,
-    net::Opcode::ping,   net::Opcode::enq_ok,    net::Opcode::deq_ok,
-    net::Opcode::deq_empty, net::Opcode::stat_ok, net::Opcode::pong,
-    net::Opcode::err};
+    net::Opcode::enq,       net::Opcode::deq,
+    net::Opcode::stat,      net::Opcode::ping,
+    net::Opcode::setw,      net::Opcode::raft_vote_req,
+    net::Opcode::raft_vote_resp, net::Opcode::raft_append_req,
+    net::Opcode::raft_append_resp, net::Opcode::enq_ok,
+    net::Opcode::deq_ok,    net::Opcode::deq_empty,
+    net::Opcode::stat_ok,   net::Opcode::pong,
+    net::Opcode::err,       net::Opcode::setw_ok,
+    net::Opcode::err_not_leader};
 
 net::Frame sample_frame(net::Opcode op, uint32_t key) {
   net::Frame f;
@@ -42,6 +47,20 @@ net::Frame sample_frame(net::Opcode op, uint32_t key) {
       break;
     case net::Opcode::err:
       f.payload = "reason text";
+      break;
+    case net::Opcode::setw:
+      f.payload = net::encode_u32_pair(key % 7, 3);
+      break;
+    case net::Opcode::err_not_leader:
+      f.payload = net::encode_u32(key % 5);
+      break;
+    case net::Opcode::raft_vote_req:
+    case net::Opcode::raft_vote_resp:
+    case net::Opcode::raft_append_req:
+    case net::Opcode::raft_append_resp:
+      // The codec treats raft bodies as opaque bytes (raft/wire.hpp owns
+      // their shape); binary-looking junk is the right sample here.
+      f.payload.assign("\x01\x00\xff\x7f raft body bytes \x80", 21);
       break;
     default:
       break;  // empty-payload opcodes
@@ -234,6 +253,158 @@ void test_compaction_bounded() {
   CHECK(d.at_eof() == net::DecodeStatus::ok);
 }
 
+/// One full decode of `wire` under a chosen chunking discipline. Frames
+/// decoded before any error are collected; `final` is the first sticky
+/// error, or at_eof() for a clean run. Stickiness is asserted inline: once
+/// poisoned, every later next() must return the SAME typed status.
+struct DecodeOutcome {
+  std::vector<net::Frame> frames;
+  net::DecodeStatus final = net::DecodeStatus::ok;
+};
+
+DecodeOutcome decode_stream(const std::string& wire, int chunking,
+                            uint32_t salt) {
+  net::Decoder d;
+  DecodeOutcome out;
+  std::mt19937 rng(salt);
+  size_t off = 0;
+  bool poisoned = false;
+  while (off < wire.size()) {
+    size_t n = chunking == 0   ? wire.size() - off
+               : chunking == 1 ? size_t{1}
+                               : size_t{1} + rng() % 37;
+    if (n > wire.size() - off) n = wire.size() - off;
+    d.feed(wire.data() + off, n);
+    off += n;
+    net::Frame f;
+    net::DecodeStatus st;
+    while ((st = d.next(f)) == net::DecodeStatus::ok) out.frames.push_back(f);
+    if (st != net::DecodeStatus::need_more) {
+      if (!poisoned) {
+        poisoned = true;
+        out.final = st;
+      }
+      CHECK(st == out.final);  // sticky: same typed error forever after
+    }
+  }
+  if (!poisoned) out.final = d.at_eof();
+  return out;
+}
+
+/// Randomized single-byte mutation sweep (ISSUE 10 satellite): take a valid
+/// multi-frame stream covering every opcode — the RAFT band included — and
+/// flip exactly one byte per trial, exhaustively over positions with seeded
+/// values. Every trial must land in exactly one outcome class, predicted
+/// from the mutated offset:
+///   header[0..3]  -> bad_magic, all prior frames intact
+///   header[4]     -> bad_version, all prior frames intact
+///   header[5]     -> clean decode with the new opcode if it is a known
+///                    one, else bad_opcode
+///   header[6..11] -> clean decode, only flags/key of that frame change
+///   header[12..15]-> length now lies: any typed error or truncated EOF
+///                    (downstream bytes re-framed), never a crash
+///   payload bytes -> clean decode, only that frame's payload changes
+/// Each trial is decoded under three chunking disciplines (one-shot,
+/// byte-at-a-time, seeded random) and the outcomes must be identical —
+/// framing decisions cannot depend on read() boundaries.
+void test_mutation_sweep() {
+  struct Span {
+    size_t start, payload_len;
+  };
+  std::string base;
+  std::vector<net::Frame> originals;
+  std::vector<Span> spans;
+  for (uint32_t k = 0; k < 2 * kAllOpcodes.size(); ++k) {
+    net::Frame f = sample_frame(kAllOpcodes[k % kAllOpcodes.size()], k * 11);
+    spans.push_back({base.size(), f.payload.size()});
+    originals.push_back(f);
+    net::encode_frame(f, base);
+  }
+
+  std::mt19937 rng(20230717);
+  for (size_t pos = 0; pos < base.size(); ++pos) {
+    for (int rep = 0; rep < 2; ++rep) {
+      std::string wire = base;
+      // (orig + k) mod 256 with k in [1,255] can never equal orig.
+      uint8_t orig = static_cast<uint8_t>(base[pos]);
+      uint8_t mut = static_cast<uint8_t>(orig + 1 + rng() % 255);
+      wire[pos] = static_cast<char>(mut);
+
+      DecodeOutcome a = decode_stream(wire, 0, 0);
+      DecodeOutcome b = decode_stream(wire, 1, 0);
+      DecodeOutcome c = decode_stream(wire, 2, static_cast<uint32_t>(pos));
+      CHECK(a.final == b.final);
+      CHECK(a.final == c.final);
+      CHECK_EQ(a.frames.size(), b.frames.size());
+      CHECK_EQ(a.frames.size(), c.frames.size());
+      for (size_t i = 0; i < a.frames.size(); ++i) {
+        expect_frames_equal(a.frames[i], b.frames[i]);
+        expect_frames_equal(a.frames[i], c.frames[i]);
+      }
+
+      // Which frame owns the mutated byte, and at what relative offset?
+      size_t idx = 0;
+      while (idx + 1 < spans.size() && spans[idx + 1].start <= pos) ++idx;
+      size_t rel = pos - spans[idx].start;
+
+      if (rel < 4) {
+        CHECK(a.final == net::DecodeStatus::bad_magic);
+        CHECK_EQ(a.frames.size(), idx);
+      } else if (rel == 4) {
+        CHECK(a.final == net::DecodeStatus::bad_version);
+        CHECK_EQ(a.frames.size(), idx);
+      } else if (rel == 5) {
+        if (net::opcode_known(mut)) {
+          CHECK(a.final == net::DecodeStatus::ok);
+          CHECK_EQ(a.frames.size(), originals.size());
+          CHECK(a.frames[idx].op == static_cast<net::Opcode>(mut));
+          CHECK_EQ(a.frames[idx].payload, originals[idx].payload);
+        } else {
+          CHECK(a.final == net::DecodeStatus::bad_opcode);
+          CHECK_EQ(a.frames.size(), idx);
+        }
+      } else if (rel < 12) {
+        // flags/key mutate freely; framing is untouched.
+        CHECK(a.final == net::DecodeStatus::ok);
+        CHECK_EQ(a.frames.size(), originals.size());
+        CHECK(a.frames[idx].op == originals[idx].op);
+        CHECK_EQ(a.frames[idx].payload, originals[idx].payload);
+        for (size_t i = 0; i < originals.size(); ++i)
+          if (i != idx) expect_frames_equal(a.frames[i], originals[i]);
+      } else if (rel < net::kHeaderSize) {
+        // The length now lies; downstream bytes re-frame arbitrarily. The
+        // contract is only: a typed error or a truncated EOF, never a clean
+        // full parse of the original frame list with this frame changed.
+        bool error_or_truncated = a.final != net::DecodeStatus::ok;
+        bool reframed_clean = a.final == net::DecodeStatus::ok;
+        if (reframed_clean) {
+          // Freak case: bytes re-framed into a fully valid stream. The
+          // mutated frame's payload length must actually differ.
+          CHECK(a.frames.size() > idx);
+          CHECK(a.frames[idx].payload.size() != spans[idx].payload_len);
+        }
+        CHECK(error_or_truncated || reframed_clean);
+      } else {
+        // Payload byte: exactly that frame's payload changes, in place.
+        CHECK(a.final == net::DecodeStatus::ok);
+        CHECK_EQ(a.frames.size(), originals.size());
+        for (size_t i = 0; i < originals.size(); ++i) {
+          if (i == idx) {
+            CHECK(a.frames[i].op == originals[i].op);
+            CHECK_EQ(a.frames[i].flags, originals[i].flags);
+            CHECK_EQ(a.frames[i].payload.size(),
+                     originals[i].payload.size());
+            CHECK_EQ(a.frames[i].payload[rel - net::kHeaderSize],
+                     static_cast<char>(mut));
+          } else {
+            expect_frames_equal(a.frames[i], originals[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
 /// Fuzz: random mutations of a valid stream, random chunk sizes. The only
 /// contract here is NO crash / no overread (ASan-audited) and that a
 /// poisoned decoder stays poisoned.
@@ -278,6 +449,7 @@ int main() {
   test_truncation();
   test_value_codec();
   test_compaction_bounded();
+  test_mutation_sweep();
   test_fuzz_no_crash();
   return wfq::test::exit_code();
 }
